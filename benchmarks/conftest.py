@@ -1,0 +1,53 @@
+"""Benchmark configuration.
+
+The table/figure benchmarks execute real system runs.  By default they
+use a reduced scale (``REPRO_BENCH_FRAMES``, default 250 frames per
+stream at student width 0.5) so the full suite finishes on a CPU-only
+box; set ``REPRO_BENCH_FRAMES=5000 REPRO_WIDTH=1.0`` for the paper's
+full protocol.
+
+Each paper-table benchmark also appends its formatted measured-vs-paper
+table to ``benchmarks/results.txt``, which is what EXPERIMENTS.md is
+built from.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.configs import ExperimentScale
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _env_float(name, default):
+    value = os.environ.get(name)
+    return float(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return ExperimentScale(
+        num_frames=_env_int("REPRO_BENCH_FRAMES", 250),
+        student_width=_env_float("REPRO_WIDTH", 0.5),
+        pretrain_steps=_env_int("REPRO_PRETRAIN", 80),
+    )
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Append-mode sink for formatted result tables."""
+    RESULTS_PATH.unlink(missing_ok=True)
+
+    def write(text: str) -> None:
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(text)
+            fh.write("\n")
+
+    return write

@@ -1,0 +1,88 @@
+"""Ablation: where to put the partial-distillation freeze boundary.
+
+The paper freezes "from the first layer to SB4" (21.4% trainable) and
+argues that with a tiny step budget it is better to exploit a fixed
+feature distribution than to explore a moving one.  This benchmark
+sweeps the freeze point from nothing-frozen (full distillation) to
+everything-but-the-head and measures accuracy, distill steps and
+update payload.
+"""
+
+import pytest
+
+from repro.distill.config import DistillConfig
+from repro.models.teacher import OracleTeacher
+from repro.nn.serialize import state_dict_bytes, state_dict_diff
+from repro.runtime.client import Client
+from repro.runtime.server import Server
+from repro.runtime.session import pretrained_student
+from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+#: Freeze points: top-level module names frozen (a front prefix).
+FREEZE_POINTS = {
+    "none (full)": (),
+    "through sb2": ("in1", "in2", "sb1", "sb2"),
+    "through sb4 (paper)": ("in1", "in2", "sb1", "sb2", "sb3", "sb4"),
+    "through sb6": ("in1", "in2", "sb1", "sb2", "sb3", "sb4", "sb5", "sb6"),
+}
+
+
+def _run_freeze_point(frozen_modules, scale):
+    spec = CATEGORY_BY_KEY["fixed-animals"]
+    video = make_category_video(
+        spec, height=scale.frame_height, width=scale.frame_width
+    )
+    cfg = DistillConfig()
+    hw = (scale.frame_height, scale.frame_width)
+    server_student = pretrained_student(
+        scale.student_width, 0, scale.pretrain_steps, hw
+    )
+    client_student = pretrained_student(
+        scale.student_width, 0, scale.pretrain_steps, hw
+    )
+    server = Server(server_student, OracleTeacher(), cfg,
+                    freeze_modules=tuple(frozen_modules))
+    client = Client(client_student, server, cfg)
+    video.reset()
+    stats = client.run(video.frames(scale.num_frames))
+    update_bytes = state_dict_bytes(
+        state_dict_diff(server_student, trainable_only=bool(frozen_modules))
+    )
+    return stats, server.trainer.trainable_fraction, update_bytes
+
+
+@pytest.mark.benchmark(group="ablation-freeze")
+def test_freeze_point_sweep(benchmark, scale, results_sink):
+    def sweep():
+        return {
+            name: _run_freeze_point(mods, scale)
+            for name, mods in FREEZE_POINTS.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"Ablation — freeze point (frames={scale.num_frames})"]
+    for name, (stats, fraction, nbytes) in results.items():
+        lines.append(
+            f"{name:20s} trainable={100 * fraction:5.1f}%  "
+            f"mIoU={100 * stats.mean_miou:5.1f}%  "
+            f"kf={100 * stats.key_frame_ratio:5.2f}%  "
+            f"steps={stats.mean_distill_steps:4.2f}  "
+            f"update={nbytes / 1e6:5.2f} MB"
+        )
+    text = "\n".join(lines) + "\n"
+    print(text)
+    results_sink(text)
+
+    paper_stats, paper_fraction, paper_bytes = results["through sb4 (paper)"]
+    full_stats, _, full_bytes = results["none (full)"]
+    head_stats, _, _ = results["through sb6"]
+
+    # The paper's freeze point trains a small fraction of parameters
+    # and ships a much smaller update than full distillation.
+    assert paper_fraction < 0.45
+    assert paper_bytes < 0.5 * full_bytes
+    # It matches or beats full distillation's accuracy (section 6.3).
+    assert paper_stats.mean_miou >= full_stats.mean_miou - 0.03
+    # Freezing almost everything cripples adaptation.
+    assert paper_stats.mean_miou >= head_stats.mean_miou - 0.02

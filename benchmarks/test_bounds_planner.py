@@ -1,0 +1,49 @@
+"""Benchmark for the section 5.3 parameter-planning pipeline: evaluate
+the analytic bounds (Eqs. 8, 12, 14, 15) and re-derive MAX_UPDATES.
+
+Paper values: traffic bounds 2.53 / 21.2 Mbps, throughput ceiling 6.99
+FPS, floor above 5 FPS, and MAX_UPDATES = 8.
+"""
+
+import pytest
+
+from repro.analytic.bounds import (
+    throughput_lower_bound,
+    throughput_upper_bound,
+    traffic_lower_bound,
+    traffic_upper_bound,
+)
+from repro.analytic.planner import choose_max_updates, paper_params
+
+
+def _plan():
+    p = paper_params()
+    return {
+        "traffic_lo": traffic_lower_bound(p),
+        "traffic_hi": traffic_upper_bound(p),
+        "fps_lo": throughput_lower_bound(p),
+        "fps_hi": throughput_upper_bound(p),
+        "max_updates": choose_max_updates(max_fps_gap=2.0),
+    }
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_bounds_and_planner(benchmark, results_sink):
+    values = benchmark(_plan)
+
+    text = (
+        "Section 5.3 / 6.2 — analytic bounds\n"
+        f"traffic bounds : {values['traffic_lo']:.2f} / {values['traffic_hi']:.1f} "
+        "Mbps (paper: 2.53 / 21.2)\n"
+        f"throughput     : {values['fps_lo']:.2f} / {values['fps_hi']:.2f} FPS "
+        "(paper: >5 / 6.99)\n"
+        f"MAX_UPDATES    : {values['max_updates']} (paper: 8)\n"
+    )
+    print(text)
+    results_sink(text)
+
+    assert values["traffic_lo"] == pytest.approx(2.53, abs=0.1)
+    assert values["traffic_hi"] == pytest.approx(21.2, abs=0.5)
+    assert values["fps_hi"] == pytest.approx(6.99, abs=0.05)
+    assert values["fps_lo"] > 5.0
+    assert values["max_updates"] == 8

@@ -1,0 +1,59 @@
+"""Benchmark regenerating Table 7: accuracy and key-frame ratio for
+7 FPS resampled videos (real-time feasibility, section 6.5).
+
+Paper averages: mIoU 66.53 (P-1) / 65.31 (P-8), key-frame ratio 6.32%.
+Shape criteria: accuracy drops only a few points vs 28 FPS (Table 6)
+and the key-frame ratio rises by about a point.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table6_accuracy, table7_low_fps
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_low_fps(benchmark, scale, results_sink):
+    result = benchmark.pedantic(
+        table7_low_fps, args=(scale,), rounds=1, iterations=1
+    )
+
+    avg = result.averages()
+    text = format_table(
+        f"Table 7 — 7 FPS resampled (frames={scale.num_frames})", result.rows
+    )
+    text += (
+        f"average: p1={avg['p1_miou_pct']:.1f} p8={avg['p8_miou_pct']:.1f} "
+        f"kf={avg['kf_pct']:.2f}% (paper: 66.53 / 65.31 / 6.32%)\n"
+    )
+    print(text)
+    results_sink(text)
+
+    # Compare against the native-FPS accuracy (Table 6 shares the cache).
+    native = table6_accuracy(scale).averages()
+    drop = native["p1_miou_pct"] - avg["p1_miou_pct"]
+    kf_increase = avg["kf_pct"] - 100 * _native_kf_ratio(scale)
+
+    results_sink(
+        f"accuracy drop vs native FPS: {drop:.1f} pp (paper < 6); "
+        f"key-frame increase: {kf_increase:.1f} pp (paper < 1)\n"
+    )
+
+    # The 4x coherence stressor costs single-digit accuracy points.
+    assert drop < 12.0
+    # Still far better than wild.
+    assert avg["p1_miou_pct"] > native["wild_miou_pct"] + 20
+    # P-8 degrades gracefully at low FPS too.
+    assert avg["p1_miou_pct"] - avg["p8_miou_pct"] < 8
+
+
+def _native_kf_ratio(scale):
+    from repro.experiments.runner import category_run
+    from repro.video.dataset import LVS_CATEGORIES
+
+    import numpy as np
+
+    return float(np.mean([
+        category_run(spec, scale, "partial", forced_delay=1).key_frame_ratio
+        for spec in LVS_CATEGORIES
+    ]))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Domain scenario: fixed CCTV camera running real-time segmentation.
+
+The paper's section 6.5 asks whether ShadowTutor can keep up with live
+camera input: if frames arrive at the system's own throughput (~7 FPS),
+temporal coherence between processed frames is 4x weaker than in a
+28 FPS recording.  This example reproduces that protocol on a CCTV-like
+fixed street scene — comparing the native-FPS stream with its 7 FPS
+resampling, exactly like Table 7 — and prints the accuracy cost and the
+extra key frames the weaker coherence induces.
+
+Run::
+
+    python examples/cctv_monitor.py [--frames N]
+"""
+
+import argparse
+
+from repro import (
+    SessionConfig,
+    make_category_video,
+    resample_fps,
+    run_shadowtutor,
+)
+from repro.video.dataset import CATEGORY_BY_KEY
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=250)
+    args = parser.parse_args()
+
+    spec = CATEGORY_BY_KEY["fixed-street"]
+    config = SessionConfig(student_width=0.5, forced_delay_frames=1)
+
+    print("scenario: fixed CCTV camera over a street scene")
+    print("=" * 68)
+
+    native = make_category_video(spec)
+    stats_native = run_shadowtutor(native, args.frames, config,
+                                   label="28fps")
+
+    realtime = resample_fps(make_category_video(spec), target_fps=7.0)
+    stats_rt = run_shadowtutor(realtime, args.frames, config, label="7fps")
+
+    for name, stats in (("recorded 28 FPS", stats_native),
+                        ("real-time 7 FPS", stats_rt)):
+        s = stats.summary()
+        print(f"{name:16s}  mIoU={s['mean_miou_pct']:5.1f}%  "
+              f"key-frames={s['key_frame_ratio_pct']:5.2f}%  "
+              f"distill-steps={s['mean_distill_steps']:.2f}")
+
+    drop = 100 * (stats_native.mean_miou - stats_rt.mean_miou)
+    extra_kf = 100 * (stats_rt.key_frame_ratio - stats_native.key_frame_ratio)
+    print("=" * 68)
+    print(f"accuracy drop from 4x weaker temporal coherence: {drop:.1f} "
+          f"percentage points (paper: <6)")
+    print(f"key-frame ratio increase: {extra_kf:.1f} percentage points "
+          f"(paper: <1)")
+    print("conclusion: the student re-learns scenes fast enough to track")
+    print("live camera input at the system's own throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Extension (paper section 8): ShadowTutor beyond video.
+
+The conclusion argues the framework applies to *any* temporally
+coherent sequence — speech from a single speaker, requests from one
+user, and so on.  This example demonstrates that generality on a 1-D
+"speech-like" stream: windows of a slowly drifting mixture of tones
+must be classified by which tone dominates.  The distribution drifts,
+so a frozen classifier degrades; intermittent distillation on sparse
+key windows, scheduled by the same Algorithm 2, keeps a tiny on-device
+model accurate.
+
+Everything is reused from the library: the autograd engine, Adam,
+parameter freezing (partial distillation of the classifier head), and
+the adaptive stride policy.  Only the task (signal windows instead of
+frames, accuracy instead of mIoU) is new — ~80 lines.
+
+Run::
+
+    python examples/sequence_extension.py [--windows N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import AdaptiveStride, DistillConfig, Tensor, no_grad
+from repro.autograd import functional as F
+from repro.nn import Adam
+from repro.nn.module import Module, Parameter
+from repro.nn.init import kaiming_normal
+
+
+class ToneStream:
+    """Detect a *drifting* target tone among distractors.
+
+    Each window is the magnitude spectrum (speech-frontend shape) of a
+    noisy mixture: two distractor tones at random frequencies plus,
+    with probability 0.5, the *target* tone at its current frequency.
+    The label is whether the target is present — a decision that
+    requires knowing where the target currently sits in the spectrum.
+
+    The target frequency random-walks over time (the analogue of scene
+    change), so a model trained at stream position t goes stale as the
+    informative bin moves — temporal coherence with a finite horizon,
+    exactly what ShadowTutor exploits.
+    """
+
+    def __init__(self, window: int = 64, drift: float = 0.005, seed: int = 0):
+        self.window = window
+        self.drift = drift
+        self.rng = np.random.default_rng(seed)
+        self.target_freq = 0.12
+        self.t = 0
+
+    @property
+    def feature_dim(self) -> int:
+        return self.window // 2 + 1
+
+    def _random_distractor(self) -> float:
+        """A distractor frequency at least 3 bins from the target."""
+        min_gap = 3.0 / self.window
+        while True:
+            f = self.rng.uniform(0.05, 0.45)
+            if abs(f - self.target_freq) > min_gap:
+                return f
+
+    def next_window(self):
+        # Always exactly three tones, so tone count is uninformative:
+        # the only tell is whether one sits at the current target
+        # frequency.
+        present = int(self.rng.integers(2))
+        freqs = [self._random_distractor(), self._random_distractor()]
+        amps = [1.0, 1.0]
+        if present:
+            freqs.append(self.target_freq)
+        else:
+            freqs.append(self._random_distractor())
+        amps.append(1.0)
+        phase = self.rng.uniform(0, 2 * np.pi, len(freqs))
+        ts = np.arange(self.window)
+        signal = sum(
+            a * np.sin(2 * np.pi * f * ts + p)
+            for a, f, p in zip(amps, freqs, phase)
+        )
+        signal = signal + self.rng.normal(0, 0.2, self.window)
+        spectrum = np.abs(np.fft.rfft(signal)).astype(np.float32)
+        spectrum /= spectrum.max() + 1e-6
+        # Drift the target frequency (reflected random walk).
+        f = self.target_freq + self.rng.normal(0, self.drift)
+        lo, hi = 0.06, 0.44
+        if f < lo:
+            f = 2 * lo - f
+        elif f > hi:
+            f = 2 * hi - f
+        self.target_freq = f
+        self.t += self.window
+        return spectrum, present
+
+
+class ToneClassifier(Module):
+    """Tiny two-layer MLP; the head is the partial-distillation target."""
+
+    def __init__(self, feature_dim: int = 33, hidden: int = 24, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.w1 = Parameter(kaiming_normal(rng, (feature_dim, hidden)))
+        self.b1 = Parameter(np.zeros(hidden, dtype=np.float32))
+        self.w2 = Parameter(kaiming_normal(rng, (hidden, 2)))
+        self.b2 = Parameter(np.zeros(2, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = (x @ self.w1 + self.b1).relu()
+        return h @ self.w2 + self.b2
+
+    def predict(self, window: np.ndarray) -> int:
+        with no_grad():
+            logits = self.forward(Tensor(window[None]))
+        return int(logits.data.argmax())
+
+
+def segment_accuracy(model, windows, labels) -> float:
+    with no_grad():
+        logits = model(Tensor(np.stack(windows)))
+    return float((logits.data.argmax(axis=1) == np.array(labels)).mean())
+
+
+def distill(model, optimizer, windows, labels, threshold, max_updates):
+    """Algorithm 1 for the sequence task.
+
+    A video key frame carries thousands of labelled pixels; the
+    sequence analogue is a key *segment* — the last few windows, all
+    pseudo-labelled by the teacher — giving the graded metric
+    Algorithm 2 needs.
+    """
+    metric = segment_accuracy(model, windows, labels)
+    steps = 0
+    if metric < threshold:
+        batch = np.stack(windows)
+        target = np.zeros((len(labels), 2), dtype=np.float32)
+        target[np.arange(len(labels)), labels] = 1.0
+        for _ in range(max_updates):
+            optimizer.zero_grad()
+            logits = model(Tensor(batch))
+            loss = -(F.log_softmax(logits, axis=1) * Tensor(target)).sum() * (
+                1.0 / len(labels)
+            )
+            loss.backward()
+            optimizer.step()
+            steps += 1
+            metric = max(metric, segment_accuracy(model, windows, labels))
+            if metric > threshold:
+                break
+    return metric, steps
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--windows", type=int, default=1500)
+    args = parser.parse_args()
+
+    config = DistillConfig(threshold=0.8, max_updates=6,
+                           min_stride=4, max_stride=64)
+    stream = ToneStream()
+    tutored = ToneClassifier(stream.feature_dim, seed=1)
+    wild = ToneClassifier(stream.feature_dim, seed=1)
+
+    # "Public education": both models pre-train briefly on the initial
+    # distribution; only the tutored one receives shadow education as
+    # the stream drifts.
+    pretrain_stream = ToneStream(seed=99)
+    pre_opt = Adam(tutored.parameters(), lr=0.02)
+    for _ in range(120):
+        spec, lab = pretrain_stream.next_window()
+        target = np.zeros((1, 2), dtype=np.float32)
+        target[0, lab] = 1.0
+        pre_opt.zero_grad()
+        loss = -(F.log_softmax(tutored(Tensor(spec[None])), axis=1)
+                 * Tensor(target)).sum()
+        loss.backward()
+        pre_opt.step()
+    wild.load_state_dict(tutored.state_dict())
+
+    # Partial distillation: freeze the feature layer, adapt the head.
+    tutored.w1.freeze()
+    tutored.b1.freeze()
+    optimizer = Adam(tutored.trainable_parameters(), lr=0.02)
+
+    policy = AdaptiveStride(config)
+    stride = policy.frames_to_next()
+    step = stride
+    n_key = 0
+    correct_tutored = correct_wild = 0
+    recent = []  # rolling key segment (teacher-labelled on key steps)
+
+    for i in range(args.windows):
+        window, label = stream.next_window()
+        recent.append((window, label))
+        if len(recent) > 12:
+            recent.pop(0)
+        if step == stride:
+            windows, labels = zip(*recent)
+            metric, _ = distill(tutored, optimizer, list(windows),
+                                list(labels), config.threshold,
+                                config.max_updates)
+            policy.update(metric)
+            stride = policy.frames_to_next()
+            n_key += 1
+            step = 0
+        correct_tutored += tutored.predict(window) == label
+        correct_wild += wild.predict(window) == label
+        step += 1
+
+    print("sequence-data extension: drifting two-tone classification")
+    print("=" * 60)
+    print(f"windows processed : {args.windows}")
+    print(f"key windows       : {n_key} ({100 * n_key / args.windows:.1f}%)")
+    print(f"tutored accuracy  : {100 * correct_tutored / args.windows:.1f}%")
+    print(f"wild accuracy     : {100 * correct_wild / args.windows:.1f}%")
+    print("=" * 60)
+    print("the same intermittent-distillation loop keeps a stale-prone")
+    print("model accurate on non-video sequence data (paper section 8).")
+
+
+if __name__ == "__main__":
+    main()

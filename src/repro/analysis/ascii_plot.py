@@ -1,0 +1,67 @@
+"""Minimal ASCII line plots for terminal-friendly figures.
+
+Used by the examples and the Figure 4 benchmark to visualise the
+bandwidth sweep without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named series over a shared x axis as an ASCII grid.
+
+    Each series gets a marker from a fixed cycle; the legend maps
+    markers to names.  Values are linearly binned into the grid.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0 or not series:
+        return "(no data)\n"
+    for name, ys in series.items():
+        if len(ys) != x.size:
+            raise ValueError(f"series {name!r} length != x length")
+
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo = all_y.min() if y_min is None else y_min
+    hi = all_y.max() if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    x_span = (x_hi - x_lo) or 1.0
+
+    for i, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        for xv, yv in zip(x, np.asarray(ys, dtype=float)):
+            col = int((xv - x_lo) / x_span * (width - 1))
+            row = int((yv - lo) / (hi - lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{y_val:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.0f}{'':{max(0, width - 20)}}{x_hi:>10.0f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines) + "\n"

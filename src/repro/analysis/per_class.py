@@ -1,0 +1,96 @@
+"""Per-class accuracy analysis over a stream.
+
+Aggregates a confusion matrix across frames and reports per-class IoU
+with class names, plus the most-confused class pairs — the view that
+explains *which* LVS classes a student struggles with (small fast birds
+vs large slow elephants, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.segmentation.classes import LVS_CLASSES, NUM_CLASSES
+from repro.segmentation.metrics import confusion_matrix
+
+
+class StreamConfusion:
+    """Accumulates a confusion matrix over (pred, label) pairs."""
+
+    def __init__(self, num_classes: int = NUM_CLASSES) -> None:
+        self.num_classes = num_classes
+        self.matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+
+    def update(self, pred: np.ndarray, label: np.ndarray) -> None:
+        self.matrix += confusion_matrix(pred, label, self.num_classes)
+
+    # ------------------------------------------------------------------
+    def per_class_iou(self) -> Dict[str, float]:
+        """IoU for every class that appears in the accumulated labels."""
+        out: Dict[str, float] = {}
+        for c in range(self.num_classes):
+            support = self.matrix[c, :].sum()
+            if support == 0:
+                continue
+            inter = self.matrix[c, c]
+            union = support + self.matrix[:, c].sum() - inter
+            name = LVS_CLASSES[c] if c < len(LVS_CLASSES) else str(c)
+            out[name] = float(inter / union) if union else 1.0
+        return out
+
+    def class_support(self) -> Dict[str, int]:
+        """Labelled pixel count per class (which classes even appear)."""
+        out: Dict[str, int] = {}
+        for c in range(self.num_classes):
+            support = int(self.matrix[c, :].sum())
+            if support:
+                name = LVS_CLASSES[c] if c < len(LVS_CLASSES) else str(c)
+                out[name] = support
+        return out
+
+    def top_confusions(self, k: int = 5) -> List[Tuple[str, str, int]]:
+        """The ``k`` largest off-diagonal entries: (true, predicted, pixels)."""
+        off = self.matrix.copy()
+        np.fill_diagonal(off, 0)
+        flat = off.ravel()
+        order = np.argsort(flat)[::-1][:k]
+        out = []
+        for idx in order:
+            if flat[idx] == 0:
+                break
+            true_c, pred_c = divmod(int(idx), self.num_classes)
+            out.append((
+                LVS_CLASSES[true_c] if true_c < len(LVS_CLASSES) else str(true_c),
+                LVS_CLASSES[pred_c] if pred_c < len(LVS_CLASSES) else str(pred_c),
+                int(flat[idx]),
+            ))
+        return out
+
+    def report(self) -> str:
+        """Readable per-class report."""
+        lines = ["per-class IoU:"]
+        support = self.class_support()
+        for name, iou in sorted(self.per_class_iou().items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(
+                f"  {name:12s} {100 * iou:5.1f}%  ({support[name]} px)"
+            )
+        confusions = self.top_confusions(3)
+        if confusions:
+            lines.append("top confusions (true -> predicted):")
+            for true_c, pred_c, n in confusions:
+                lines.append(f"  {true_c} -> {pred_c}: {n} px")
+        return "\n".join(lines)
+
+
+def stream_confusion(
+    pairs: Iterable[Tuple[np.ndarray, np.ndarray]],
+    num_classes: int = NUM_CLASSES,
+) -> StreamConfusion:
+    """Build a :class:`StreamConfusion` from (pred, label) pairs."""
+    acc = StreamConfusion(num_classes)
+    for pred, label in pairs:
+        acc.update(pred, label)
+    return acc

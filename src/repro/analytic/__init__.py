@@ -1,0 +1,24 @@
+"""Analytic models of network traffic and throughput (paper section 4.4)."""
+
+from repro.analytic.bounds import (
+    SystemParams,
+    tc_bounds,
+    total_time,
+    traffic_lower_bound,
+    traffic_upper_bound,
+    throughput_lower_bound,
+    throughput_upper_bound,
+)
+from repro.analytic.planner import choose_max_updates, paper_params
+
+__all__ = [
+    "SystemParams",
+    "tc_bounds",
+    "total_time",
+    "traffic_lower_bound",
+    "traffic_upper_bound",
+    "throughput_lower_bound",
+    "throughput_upper_bound",
+    "choose_max_updates",
+    "paper_params",
+]

@@ -1,0 +1,28 @@
+"""MPI-like communication layer (the paper used OpenMPI).
+
+Algorithms 3 and 4 are written against this interface: blocking
+``send``/``recv`` plus non-blocking ``isend``/``irecv`` returning
+:class:`~repro.comm.interface.Request` handles with ``test()`` /
+``wait()`` — mirroring mpi4py's lowercase-object-communication idioms.
+
+Two transports:
+
+* :class:`~repro.comm.inproc.SimulatedChannel` — deterministic
+  in-process transport whose delivery times come from the discrete-event
+  clock and the :class:`~repro.network.model.NetworkModel`.
+* :class:`~repro.comm.mp.PipeTransport` — a real two-process transport
+  over ``multiprocessing`` pipes, for the live distributed demo.
+"""
+
+from repro.comm.interface import Endpoint, Request
+from repro.comm.inproc import SimulatedChannel, SimulatedEndpoint
+from repro.comm.mp import PipeTransport, spawn_pipe_pair
+
+__all__ = [
+    "Endpoint",
+    "Request",
+    "SimulatedChannel",
+    "SimulatedEndpoint",
+    "PipeTransport",
+    "spawn_pipe_pair",
+]

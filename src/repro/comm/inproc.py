@@ -1,0 +1,128 @@
+"""Deterministic in-process transport driven by the simulated clock.
+
+The discrete-event runtime advances a :class:`~repro.runtime.clock.SimClock`;
+messages become available when the clock passes their delivery time,
+which is ``send_time + NetworkModel.transfer_time(nbytes)``.  The link
+is serialised per direction (one transfer at a time), modelling the
+rate-limited uplink/downlink of the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.comm.interface import Endpoint, Request
+from repro.network.model import NetworkModel, TrafficAccountant
+from repro.runtime.clock import SimClock
+
+
+class _SimRequest(Request):
+    """Request bound to a delivery time on the simulated clock."""
+
+    def __init__(self, clock: SimClock, ready_at: float, payload: Any = None) -> None:
+        self._clock = clock
+        self.ready_at = ready_at
+        self._payload = payload
+
+    def test(self) -> bool:
+        return self._clock.now >= self.ready_at
+
+    def wait(self) -> Any:
+        self._clock.advance_to(self.ready_at)
+        return self._payload
+
+    def payload(self) -> Any:
+        return self._payload
+
+    def bind(self, ready_at: float, payload: Any) -> None:
+        self.ready_at = ready_at
+        self._payload = payload
+
+
+class _PendingRecv(_SimRequest):
+    """An irecv posted before the matching send: resolves lazily."""
+
+    def __init__(self, clock: SimClock, queue: "Deque[Tuple[float, Any]]") -> None:
+        super().__init__(clock, float("inf"))
+        self._queue = queue
+        self._bound = False
+
+    def _try_bind(self) -> None:
+        if not self._bound and self._queue:
+            ready_at, payload = self._queue.popleft()
+            self.bind(ready_at, payload)
+            self._bound = True
+
+    def test(self) -> bool:
+        self._try_bind()
+        return self._bound and super().test()
+
+    def wait(self) -> Any:
+        while not self._bound:
+            self._try_bind()
+            if not self._bound:
+                raise RuntimeError(
+                    "irecv waited with no matching send in the simulation"
+                )
+        return super().wait()
+
+
+class SimulatedChannel:
+    """A bidirectional link with one simulated endpoint per side."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        network: NetworkModel,
+        accountant: Optional[TrafficAccountant] = None,
+    ) -> None:
+        self.clock = clock
+        self.network = network
+        self.accountant = accountant or TrafficAccountant()
+        # Per-direction delivery queues and busy-until markers.
+        self._queues: dict = {"up": deque(), "down": deque()}
+        self._busy_until = {"up": 0.0, "down": 0.0}
+        self.client = SimulatedEndpoint(self, "up", "down")
+        self.server = SimulatedEndpoint(self, "down", "up")
+
+    def _transmit(self, direction: str, obj: Any, nbytes: int) -> float:
+        """Schedule a transfer; returns delivery time."""
+        start = max(self.clock.now, self._busy_until[direction])
+        done = start + self.network.transfer_time(nbytes)
+        self._busy_until[direction] = done
+        self._queues[direction].append((done, obj))
+        self.accountant.record(done, nbytes, direction)
+        return done
+
+
+class SimulatedEndpoint(Endpoint):
+    """One side of a :class:`SimulatedChannel`."""
+
+    def __init__(self, channel: SimulatedChannel, tx: str, rx: str) -> None:
+        self._channel = channel
+        self._tx = tx
+        self._rx = rx
+
+    # -- sending -------------------------------------------------------
+    def send(self, obj: Any, nbytes: int) -> None:
+        done = self._channel._transmit(self._tx, obj, nbytes)
+        # A blocking send returns once the payload is on the wire; the
+        # sender does not wait for delivery (buffered-send semantics).
+        del done
+
+    def isend(self, obj: Any, nbytes: int) -> Request:
+        done = self._channel._transmit(self._tx, obj, nbytes)
+        return _SimRequest(self._channel.clock, done, obj)
+
+    # -- receiving -----------------------------------------------------
+    def recv(self) -> Any:
+        queue = self._channel._queues[self._rx]
+        if not queue:
+            raise RuntimeError("recv with no pending message in the simulation")
+        ready_at, payload = queue.popleft()
+        self._channel.clock.advance_to(ready_at)
+        return payload
+
+    def irecv(self) -> Request:
+        return _PendingRecv(self._channel.clock, self._channel._queues[self._rx])

@@ -1,0 +1,42 @@
+"""Abstract communication interface (mpi4py-flavoured)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Tuple
+
+
+class Request(abc.ABC):
+    """Handle for a non-blocking operation (mpi4py ``Request`` analogue)."""
+
+    @abc.abstractmethod
+    def test(self) -> bool:
+        """Return True when the operation has completed (non-blocking)."""
+
+    @abc.abstractmethod
+    def wait(self) -> Any:
+        """Block until completion; returns the payload for receives."""
+
+    @abc.abstractmethod
+    def payload(self) -> Any:
+        """The received payload (valid only after completion)."""
+
+
+class Endpoint(abc.ABC):
+    """One side of a bidirectional channel."""
+
+    @abc.abstractmethod
+    def send(self, obj: Any, nbytes: int) -> None:
+        """Blocking send of ``obj`` whose wire size is ``nbytes``."""
+
+    @abc.abstractmethod
+    def recv(self) -> Any:
+        """Blocking receive of the next message."""
+
+    @abc.abstractmethod
+    def isend(self, obj: Any, nbytes: int) -> Request:
+        """Non-blocking send (Algorithm 4's ``ToServerAsync``)."""
+
+    @abc.abstractmethod
+    def irecv(self) -> Request:
+        """Non-blocking receive (Algorithm 4's ``FromServerAsync``)."""

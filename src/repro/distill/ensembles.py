@@ -1,0 +1,157 @@
+"""Teacher-side extensions discussed in the paper's section 7.
+
+* :class:`EnsembleTeacher` — Hinton et al.'s original proposal: distill
+  from an *ensemble* of teacher models, here by per-pixel majority vote
+  over their segmentation outputs.
+* :class:`DataDistillationTeacher` — Radosavovic et al.'s data
+  distillation: a single teacher applied to multiple transformed copies
+  of the input (horizontal flip, small shifts), with the outputs
+  inverse-transformed and merged.
+
+Both implement the :class:`~repro.models.teacher.Teacher` protocol, so
+they drop into :class:`~repro.runtime.server.Server` unchanged — the
+student "is only interested in the final output of the teacher".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.teacher import Teacher
+from repro.segmentation.classes import NUM_CLASSES
+
+
+def _majority_vote(predictions: Sequence[np.ndarray], num_classes: int) -> np.ndarray:
+    """Per-pixel majority vote; earlier voters break ties."""
+    stack = np.stack(predictions)  # (V, H, W)
+    v, h, w = stack.shape
+    # One-hot accumulate per class, vectorized over voters.
+    counts = np.zeros((num_classes, h, w), dtype=np.int32)
+    for pred in stack:
+        counts[pred, np.arange(h)[:, None], np.arange(w)[None, :]] += 1
+    return counts.argmax(axis=0)
+
+
+class EnsembleTeacher:
+    """Majority-vote ensemble over several teachers (section 7)."""
+
+    def __init__(self, teachers: Sequence[Teacher], num_classes: int = NUM_CLASSES):
+        if not teachers:
+            raise ValueError("ensemble needs at least one teacher")
+        self.teachers = list(teachers)
+        self.num_classes = num_classes
+
+    def infer(self, frame: np.ndarray, label: Optional[np.ndarray] = None) -> np.ndarray:
+        predictions = [t.infer(frame, label) for t in self.teachers]
+        if len(predictions) == 1:
+            return predictions[0]
+        return _majority_vote(predictions, self.num_classes)
+
+
+class Transform:
+    """An invertible frame transform for data distillation.
+
+    ``apply`` transforms a frame, ``apply_label`` transforms a label the
+    same way (needed by oracle teachers whose pseudo-label must stay
+    consistent with the transformed frame), and ``invert_label`` maps a
+    prediction on the transformed frame back to original coordinates.
+    """
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def apply_label(self, label: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def invert_label(self, label: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class IdentityTransform(Transform):
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        return frame
+
+    def apply_label(self, label: np.ndarray) -> np.ndarray:
+        return label
+
+    def invert_label(self, label: np.ndarray) -> np.ndarray:
+        return label
+
+
+class HorizontalFlip(Transform):
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        return frame[..., ::-1].copy()
+
+    def apply_label(self, label: np.ndarray) -> np.ndarray:
+        return label[..., ::-1].copy()
+
+    def invert_label(self, label: np.ndarray) -> np.ndarray:
+        return label[..., ::-1].copy()
+
+
+class Shift(Transform):
+    """Translate by whole pixels, edge-padded; label shifted back."""
+
+    def __init__(self, dy: int, dx: int) -> None:
+        self.dy, self.dx = dy, dx
+
+    @staticmethod
+    def _roll_pad(arr: np.ndarray, dy: int, dx: int) -> np.ndarray:
+        out = np.roll(arr, (dy, dx), axis=(-2, -1))
+        # Zero the wrapped-around strips (edge content is unknowable).
+        if dy > 0:
+            out[..., :dy, :] = 0
+        elif dy < 0:
+            out[..., dy:, :] = 0
+        if dx > 0:
+            out[..., :, :dx] = 0
+        elif dx < 0:
+            out[..., :, dx:] = 0
+        return out
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        return self._roll_pad(frame, self.dy, self.dx)
+
+    def apply_label(self, label: np.ndarray) -> np.ndarray:
+        return self._roll_pad(label, self.dy, self.dx)
+
+    def invert_label(self, label: np.ndarray) -> np.ndarray:
+        return self._roll_pad(label, -self.dy, -self.dx)
+
+
+class DataDistillationTeacher:
+    """Single teacher, ensembled over input transformations (section 7).
+
+    The transformed copies exercise the same teacher on shifted/mirrored
+    views; the inverse-transformed outputs are merged by majority vote,
+    which smooths boundary jitter in the pseudo-labels.
+    """
+
+    def __init__(
+        self,
+        teacher: Teacher,
+        transforms: Optional[Sequence[Transform]] = None,
+        num_classes: int = NUM_CLASSES,
+    ) -> None:
+        self.teacher = teacher
+        self.transforms: List[Transform] = list(
+            transforms
+            if transforms is not None
+            else [IdentityTransform(), HorizontalFlip(), Shift(1, 0), Shift(0, 1)]
+        )
+        if not self.transforms:
+            raise ValueError("need at least one transform")
+        self.num_classes = num_classes
+
+    def infer(self, frame: np.ndarray, label: Optional[np.ndarray] = None) -> np.ndarray:
+        votes = []
+        for transform in self.transforms:
+            t_frame = transform.apply(frame)
+            t_label = transform.apply_label(label) if label is not None else None
+            pred = self.teacher.infer(t_frame, t_label)
+            votes.append(transform.invert_label(pred))
+        if len(votes) == 1:
+            return votes[0]
+        return _majority_vote(votes, self.num_classes)

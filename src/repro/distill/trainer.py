@@ -1,0 +1,124 @@
+"""Algorithm 1: server-side student training on a key frame.
+
+The trainer owns the server's student copy and an optimizer over its
+*trainable* parameters.  For partial distillation the student's
+front-end is frozen (``partial_freeze``), so ``loss.backward()``
+genuinely stops at the freeze boundary — the ``PartialBackward`` of the
+paper — and the optimizer only touches the back-end.
+
+Per Algorithm 1: if the student already beats THRESHOLD on the key
+frame, no optimisation step is taken (d = 0, which the traffic
+upper-bound derivation in section 4.4 relies on); otherwise up to
+MAX_UPDATES steps run, tracking the best checkpoint, with early exit as
+soon as the metric exceeds THRESHOLD.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.distill.config import DistillConfig, DistillMode
+from repro.models.student import StudentNet, partial_freeze
+from repro.nn.optim import Adam
+from repro.nn.serialize import clone_state_dict
+from repro.segmentation.losses import lvs_weight_map, weighted_cross_entropy
+from repro.segmentation.metrics import mean_iou
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Outcome of one key-frame distillation (Algorithm 1's return)."""
+
+    metric: float            #: best post-training mIoU on the key frame
+    initial_metric: float    #: mIoU before any update (gates the loop)
+    steps: int               #: optimisation steps actually taken (<= MAX_UPDATES)
+    losses: List[float]      #: loss after each step
+    improved: bool           #: whether training beat the initial metric
+
+
+class StudentTrainer:
+    """Owns the server-side student copy and runs Algorithm 1.
+
+    ``freeze_modules`` overrides the freeze boundary (used by the
+    freeze-point ablation): the named top-level modules are frozen and
+    the rest trained, regardless of ``config.mode``.  With the default
+    of ``None``, PARTIAL mode applies the paper's boundary (through
+    SB4) and FULL mode trains everything.
+    """
+
+    def __init__(
+        self,
+        student: StudentNet,
+        config: DistillConfig,
+        freeze_modules: Optional[tuple] = None,
+    ) -> None:
+        self.student = student
+        self.config = config
+        if freeze_modules is not None:
+            student.unfreeze()
+            frozen = set(freeze_modules)
+            student.freeze_where(lambda n: n.split(".", 1)[0] in frozen)
+            self.trainable_fraction = student.trainable_fraction()
+        elif config.mode is DistillMode.PARTIAL:
+            self.trainable_fraction = partial_freeze(student)
+        else:
+            student.unfreeze()
+            self.trainable_fraction = 1.0
+        self._optimizer = Adam(student.trainable_parameters(), lr=config.lr)
+
+    def train(self, frame: np.ndarray, label: np.ndarray) -> TrainResult:
+        """Distil the teacher's pseudo-label into the student (Alg. 1)."""
+        cfg = self.config
+        student = self.student
+        if cfg.reset_optimizer_state:
+            self._optimizer.reset_state()
+
+        x = Tensor(frame[None] if frame.ndim == 3 else frame)
+        target = label[None] if label.ndim == 2 else label
+        weight_map = lvs_weight_map(target)
+
+        student.eval()
+        pred = student.predict(frame)
+        best_metric = mean_iou(pred, label)
+        initial_metric = best_metric
+        best_state = None
+        losses: List[float] = []
+        steps = 0
+
+        if best_metric < cfg.threshold:
+            student.train()
+            for _ in range(cfg.max_updates):
+                self._optimizer.zero_grad()
+                logits = student(x)
+                loss = weighted_cross_entropy(logits, target, weight_map)
+                loss.backward()
+                self._optimizer.step()
+                losses.append(loss.item())
+                steps += 1
+
+                student.eval()
+                pred = student.predict(frame)
+                metric = mean_iou(pred, label)
+                student.train()
+                if metric > best_metric:
+                    best_metric = metric
+                    best_state = clone_state_dict(student.state_dict())
+                if metric > cfg.threshold:
+                    break
+            student.eval()
+            # Roll back to the best checkpoint (Algorithm 1 returns
+            # best_student, not the last iterate).
+            if best_state is not None and best_metric > initial_metric:
+                student.load_state_dict(best_state)
+
+        return TrainResult(
+            metric=best_metric,
+            initial_metric=initial_metric,
+            steps=steps,
+            losses=losses,
+            improved=best_metric > initial_metric,
+        )

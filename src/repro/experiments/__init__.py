@@ -1,0 +1,55 @@
+"""Experiment harness reproducing every table and figure of the paper's
+evaluation (section 6).
+
+Each ``table*``/``figure4`` function runs the workloads and returns a
+structured result carrying both our measured values and the paper's
+reference values, so EXPERIMENTS.md and the benchmark output can show
+them side by side.
+"""
+
+from repro.experiments.configs import (
+    ExperimentScale,
+    default_scale,
+    PAPER_REFERENCE,
+)
+from repro.experiments.tables import (
+    table2_distillation,
+    table3_throughput,
+    table4_data_per_keyframe,
+    table5_traffic,
+    table6_accuracy,
+    table7_low_fps,
+)
+from repro.experiments.figures import figure4_bandwidth_sweep
+from repro.experiments.report import format_table, render_experiments_md
+from repro.experiments.validate import (
+    render_report,
+    validate_figure4,
+    validate_table2,
+    validate_table3,
+    validate_table4,
+    validate_table5,
+    validate_table6,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "PAPER_REFERENCE",
+    "table2_distillation",
+    "table3_throughput",
+    "table4_data_per_keyframe",
+    "table5_traffic",
+    "table6_accuracy",
+    "table7_low_fps",
+    "figure4_bandwidth_sweep",
+    "format_table",
+    "render_experiments_md",
+    "render_report",
+    "validate_figure4",
+    "validate_table2",
+    "validate_table3",
+    "validate_table4",
+    "validate_table5",
+    "validate_table6",
+]

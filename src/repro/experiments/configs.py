@@ -1,0 +1,118 @@
+"""Experiment scaling knobs and the paper's reference values.
+
+The paper processes the first 5000 frames of each video (~200 s).  A
+CPU-only reproduction cannot afford 5000 real student inferences for
+every cell of every table, so the frame count and student width are
+scalable via environment variables:
+
+* ``REPRO_FRAMES``  — frames per stream (default 400).
+* ``REPRO_WIDTH``   — student width multiplier (default 0.5).
+* ``REPRO_PRETRAIN``— pre-training steps (default 80).
+
+Setting ``REPRO_FRAMES=5000 REPRO_WIDTH=1.0`` runs the paper-scale
+protocol when time allows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return float(value) if value else default
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Scale of an experiment run (frames per stream, model size)."""
+
+    num_frames: int = 400
+    student_width: float = 0.5
+    pretrain_steps: int = 80
+    frame_height: int = 64
+    frame_width: int = 96
+
+
+def default_scale() -> ExperimentScale:
+    """Scale from the environment (see module docstring)."""
+    return ExperimentScale(
+        num_frames=_env_int("REPRO_FRAMES", 400),
+        student_width=_env_float("REPRO_WIDTH", 0.5),
+        pretrain_steps=_env_int("REPRO_PRETRAIN", 80),
+    )
+
+
+#: The paper's reported numbers, for side-by-side comparison in
+#: EXPERIMENTS.md and benchmark output.  Keys follow the table layout.
+PAPER_REFERENCE: Dict[str, Dict] = {
+    "table2": {
+        "step_latency_ms": {"partial": 13.0, "full": 18.0},
+        "mean_steps": {"partial": 3.83, "full": 4.44},
+    },
+    "table3": {  # FPS per category: (partial, full, naive)
+        "fixed-animals": (6.55, 6.21, 2.09),
+        "fixed-people": (6.60, 6.43, 2.09),
+        "fixed-street": (6.50, 5.95, 2.09),
+        "moving-animals": (6.57, 6.27, 2.09),
+        "moving-people": (6.59, 6.36, 2.09),
+        "moving-street": (6.41, 5.55, 2.09),
+        "egocentric-people": (6.57, 5.89, 2.09),
+        "average": (6.54, 6.08, 2.09),
+    },
+    "table4": {  # MB per key frame
+        "to_server": {"partial": 2.637, "full": 2.637, "naive": 2.637},
+        "to_client": {"partial": 0.395, "full": 1.846, "naive": 0.879},
+        "total": {"partial": 3.032, "full": 4.483, "naive": 3.516},
+    },
+    "table5": {  # (key-frame ratio % partial, full; traffic Mbps partial, naive)
+        "fixed-animals": (4.73, 4.60, 7.51, 58.51),
+        "fixed-people": (1.96, 2.42, 3.14, 58.51),
+        "fixed-street": (7.78, 7.43, 12.27, 58.51),
+        "moving-animals": (2.55, 2.29, 4.06, 58.51),
+        "moving-people": (3.45, 4.12, 5.51, 58.51),
+        "moving-street": (11.70, 11.48, 18.19, 58.51),
+        "egocentric-people": (5.46, 9.75, 8.70, 58.51),
+        "average": (5.38, 6.01, 6.19, 58.51),
+    },
+    "table6": {  # mIoU %: (wild, P-1, P-8, F-1, naive)
+        "fixed-animals": (14.34, 74.31, 73.27, 74.47, 100.0),
+        "fixed-people": (13.91, 81.69, 81.39, 81.36, 100.0),
+        "fixed-street": (17.28, 70.26, 69.01, 63.60, 100.0),
+        "moving-animals": (22.31, 74.94, 73.80, 75.21, 100.0),
+        "moving-people": (17.62, 74.82, 74.06, 75.55, 100.0),
+        "moving-street": (18.65, 60.48, 58.61, 52.94, 100.0),
+        "egocentric-people": (14.80, 70.42, 68.87, 61.41, 100.0),
+        "average": (16.99, 72.42, 71.29, 69.22, 100.0),
+    },
+    "table7": {  # 7-FPS: (mIoU P-1, mIoU P-8, key-frame ratio %)
+        "fixed-animals": (62.72, 61.86, 6.59),
+        "fixed-people": (80.44, 80.08, 1.97),
+        "fixed-street": (63.78, 62.51, 8.9),
+        "moving-animals": (68.63, 66.78, 4.84),
+        "moving-people": (73.66, 72.91, 4.15),
+        "moving-street": (48.92, 46.99, 12.34),
+        "egocentric-people": (67.57, 66.09, 5.44),
+        "average": (66.53, 65.31, 6.32),
+    },
+    "figure4": {
+        "bandwidths_mbps": [8, 12, 20, 40, 60, 80, 90],
+        "videos": ["softball", "figure_skating", "ice_hockey", "drone", "southbeach"],
+        "keyframe_pct": {"softball": 1.72, "southbeach": 12.4},
+        # Qualitative shape: ShadowTutor flat until ~40 Mbps, naive
+        # degrades linearly with bandwidth.
+    },
+    "bounds": {
+        "traffic_mbps": (2.53, 21.2),  # Eqs. 8 and 12
+        "throughput_fps_upper": 6.99,  # Eq. 15
+        "throughput_fps_lower_min": 5.0,
+        "max_updates": 8,
+    },
+}

@@ -1,0 +1,35 @@
+"""Plain-text report formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Dict[str, Dict[str, float]],
+    columns: Sequence[str] | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a nested dict as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)\n"
+    columns = list(columns or next(iter(rows.values())).keys())
+    header = ["category"] + columns
+    body: List[List[str]] = []
+    for key, values in rows.items():
+        body.append([key] + [f"{values[c]:.{precision}f}" for c in columns])
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_experiments_md(sections: Iterable[str]) -> str:
+    """Join rendered sections into an EXPERIMENTS.md body."""
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,19 @@
+"""Network modelling: message sizes, bandwidth/latency, traffic accounting."""
+
+from repro.network.messages import (
+    MessageSizes,
+    hd_frame_bytes,
+    student_payload_bytes,
+)
+from repro.network.model import NetworkModel, TrafficAccountant
+from repro.network.dynamic import DynamicNetworkModel, step_drop
+
+__all__ = [
+    "DynamicNetworkModel",
+    "step_drop",
+    "MessageSizes",
+    "hd_frame_bytes",
+    "student_payload_bytes",
+    "NetworkModel",
+    "TrafficAccountant",
+]

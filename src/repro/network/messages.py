@@ -1,0 +1,98 @@
+"""Message catalogue: what crosses the network and how big it is.
+
+The paper's Table 4 reports per-key-frame payloads measured on their
+720p pipeline:
+
+=============================  =========
+payload                        size (MB)
+=============================  =========
+frame, client -> server        2.637
+student diff (partial)         0.395
+student weights (full)         1.846
+teacher prediction (naive)     0.879
+=============================  =========
+
+Our simulator renders frames at reduced resolution, but traffic results
+must be at paper scale, so sizes are computed from *HD-equivalent*
+geometry: a frame is ``720 * 1280 * 3`` bytes of pixels plus modest
+framing overhead, the teacher prediction is an HD class map compressed
+to one byte per pixel (~0.879 MB as the paper measures), and student
+payloads come from the real serialized state dict of a width-1.0
+student (scaled to HD parameter counts when a smaller experiment
+student is in use).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# The paper's sizes are decimal megabytes: 3.032 MB at 80 Mbps gives the
+# measured t_net of 0.303 s (section 5.3), which only works out with
+# MB = 1e6.
+MB = 1_000_000
+
+#: The paper's measured per-key-frame payload sizes in bytes (Table 4).
+PAPER_FRAME_BYTES = int(2.637 * MB)
+PAPER_PARTIAL_DIFF_BYTES = int(0.395 * MB)
+PAPER_FULL_WEIGHTS_BYTES = int(1.846 * MB)
+PAPER_TEACHER_PRED_BYTES = int(0.879 * MB)
+
+
+def hd_frame_bytes(height: int = 720, width: int = 1280, channels: int = 3) -> int:
+    """Raw size of one video frame at the given resolution (uint8)."""
+    return height * width * channels
+
+
+def student_payload_bytes(num_params: int, dtype_bytes: int = 4) -> int:
+    """Serialized size of a parameter payload (float32 by default)."""
+    return num_params * dtype_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageSizes:
+    """Per-message payload sizes (bytes) used by a system run.
+
+    ``paper()`` returns the measured values of Table 4 so traffic
+    numbers land at paper scale regardless of the simulated student's
+    actual size; ``from_student()`` derives them from a live model for
+    self-consistency tests.
+    """
+
+    frame_to_server: int
+    student_diff_partial: int
+    student_full: int
+    teacher_prediction: int
+
+    @staticmethod
+    def paper() -> "MessageSizes":
+        return MessageSizes(
+            frame_to_server=PAPER_FRAME_BYTES,
+            student_diff_partial=PAPER_PARTIAL_DIFF_BYTES,
+            student_full=PAPER_FULL_WEIGHTS_BYTES,
+            teacher_prediction=PAPER_TEACHER_PRED_BYTES,
+        )
+
+    @staticmethod
+    def from_student(
+        total_params: int,
+        trainable_params: int,
+        frame_bytes: int | None = None,
+        pred_bytes: int | None = None,
+    ) -> "MessageSizes":
+        """Derive sizes from a live student model (float32 weights)."""
+        return MessageSizes(
+            frame_to_server=frame_bytes if frame_bytes is not None else hd_frame_bytes(),
+            student_diff_partial=student_payload_bytes(trainable_params),
+            student_full=student_payload_bytes(total_params),
+            teacher_prediction=pred_bytes if pred_bytes is not None else 720 * 1280,
+        )
+
+    def keyframe_total(self, partial: bool) -> int:
+        """Round-trip bytes for one key frame (Table 4's "Total" row)."""
+        up = self.frame_to_server
+        down = self.student_diff_partial if partial else self.student_full
+        return up + down
+
+    def naive_total(self) -> int:
+        """Round-trip bytes for one naively offloaded frame."""
+        return self.frame_to_server + self.teacher_prediction

@@ -1,0 +1,69 @@
+"""Bandwidth/latency model and traffic accounting.
+
+Transfer time of a payload is ``base_latency + bytes * 8 / bandwidth``,
+the standard first-order model of a rate-limited link.  The paper's
+testbed limits both uplink and downlink to 80 Mbps (section 5.1); at
+that setting one key-frame round trip of 3.032 MB takes ~0.303 s plus
+propagation — reproducing the paper's measured t_net = 0.303 s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+
+@dataclasses.dataclass
+class NetworkModel:
+    """A symmetric rate-limited link between client and server."""
+
+    bandwidth_mbps: float = 80.0
+    #: One-way propagation + protocol latency (seconds).  The paper's
+    #: Wi-Fi testbed is LAN-class, so this is small.
+    base_latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across the link one way."""
+        return self.base_latency_s + (nbytes * 8) / (self.bandwidth_mbps * 1e6)
+
+    def round_trip_time(self, up_bytes: int, down_bytes: int) -> float:
+        """Seconds for an up transfer followed by a down transfer."""
+        return self.transfer_time(up_bytes) + self.transfer_time(down_bytes)
+
+
+class TrafficAccountant:
+    """Accumulates every transfer for post-run traffic statistics."""
+
+    def __init__(self) -> None:
+        self._events: List[Tuple[float, int, str]] = []
+
+    def record(self, sim_time: float, nbytes: int, direction: str) -> None:
+        """Log one transfer completed at ``sim_time``."""
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        self._events.append((sim_time, nbytes, direction))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b for _, b, _ in self._events)
+
+    def bytes_by_direction(self) -> Tuple[int, int]:
+        up = sum(b for _, b, d in self._events if d == "up")
+        down = sum(b for _, b, d in self._events if d == "down")
+        return up, down
+
+    def traffic_mbps(self, total_time_s: float) -> float:
+        """Average network traffic in Mbps over the run (Table 5 metric)."""
+        if total_time_s <= 0:
+            return 0.0
+        return self.total_bytes * 8 / 1e6 / total_time_s
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self._events)

@@ -1,0 +1,76 @@
+"""Checkpoint I/O: save/load module state to ``.npz`` files.
+
+Pre-training is "a one-time cost" (paper section 4.1.3), which only
+holds if the result can be persisted.  Checkpoints store the flat
+state dict plus a small metadata header, and loading validates shapes
+against the receiving module so a width-mismatched student fails loudly
+rather than silently.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Reserved key inside the npz archive holding the JSON metadata.
+_META_KEY = "__repro_meta__"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_checkpoint(
+    module: Module,
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a module's full state (parameters + buffers) to ``path``.
+
+    ``metadata`` is any JSON-serializable dict (e.g. pre-training
+    config, step counts); it is stored alongside the arrays.
+    """
+    path = pathlib.Path(path)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not use the reserved key {_META_KEY!r}")
+    meta = dict(metadata or {})
+    meta.setdefault("num_parameters", module.num_parameters())
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(
+    module: Module,
+    path: PathLike,
+    strict: bool = True,
+) -> Dict[str, object]:
+    """Load a checkpoint into ``module``; returns the stored metadata.
+
+    With ``strict`` (default) the checkpoint must cover the module's
+    state exactly; shape mismatches always raise.
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        names = [n for n in archive.files if n != _META_KEY]
+        state = {name: archive[name] for name in names}
+        meta: Dict[str, object] = {}
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    module.load_state_dict(state, strict=strict)
+    return meta
+
+
+def peek_metadata(path: PathLike) -> Dict[str, object]:
+    """Read only the metadata header of a checkpoint."""
+    with np.load(pathlib.Path(path)) as archive:
+        if _META_KEY not in archive.files:
+            return {}
+        return json.loads(bytes(archive[_META_KEY]).decode("utf-8"))

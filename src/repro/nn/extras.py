@@ -1,0 +1,153 @@
+"""Additional layers: Linear, Dropout, MaxPool2d, GroupNorm2d.
+
+Not needed by the core ShadowTutor student (a fully-convolutional
+network), but used by the sequence-data extension (section 8), the
+ablation variants, and downstream users building their own
+teacher/student pairs on this substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.init import kaiming_normal, xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Fully-connected layer: ``y = x W + b`` with ``W`` of shape
+    ``(in_features, out_features)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform(rng, (out_features, in_features)).T.copy())
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=np.float32))
+        else:
+            object.__setattr__(self, "bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The mask RNG is owned by the layer so training runs remain
+    reproducible under a fixed seed.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.data.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with square kernel."""
+
+    def __init__(self, kernel_size: int = 2) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k = self.kernel_size
+        n, c, h, w = x.data.shape
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by {k}")
+        view = x.data.reshape(n, c, h // k, k, w // k, k)
+        out_data = view.max(axis=(3, 5))
+        # Winner mask for backward: gradient flows to the max element
+        # of each window (ties split the gradient evenly, matching the
+        # subgradient convention).
+        winners = view == out_data[:, :, :, None, :, None]
+        counts = winners.sum(axis=(3, 5), keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad[:, :, :, None, :, None] * winners / counts
+            x._accumulate(g.reshape(n, c, h, w).astype(np.float32))
+
+        return Tensor._make(out_data, (x,), backward)
+
+
+class GroupNorm2d(Module):
+    """Group normalisation over NCHW tensors.
+
+    Batch-size independent (normalises within each sample), which makes
+    it a natural alternative to BN for the single-frame online
+    distillation setting; included for architecture ablations.
+    """
+
+    def __init__(self, num_groups: int, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features % num_groups:
+            raise ValueError("num_features must divide evenly into groups")
+        self.num_groups = num_groups
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.data.shape
+        if c != self.num_features:
+            raise ValueError(f"expected {self.num_features} channels, got {c}")
+        g = self.num_groups
+        grouped = x.data.reshape(n, g, c // g, h, w)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = grouped.var(axis=(2, 3, 4), keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = ((grouped - mean) * inv_std).reshape(n, c, h, w)
+        out_data = (
+            x_hat * self.weight.data.reshape(1, c, 1, 1)
+            + self.bias.data.reshape(1, c, 1, 1)
+        )
+
+        weight, bias = self.weight, self.bias
+        m = (c // g) * h * w  # elements per group
+
+        def backward(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                weight._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+            if bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                g_xhat = (grad * weight.data.reshape(1, c, 1, 1)).reshape(
+                    n, g, c // g, h, w
+                )
+                xh = x_hat.reshape(n, g, c // g, h, w)
+                sum_g = g_xhat.sum(axis=(2, 3, 4), keepdims=True)
+                sum_gx = (g_xhat * xh).sum(axis=(2, 3, 4), keepdims=True)
+                gx = (g_xhat - sum_g / m - xh * sum_gx / m) * inv_std
+                x._accumulate(gx.reshape(n, c, h, w))
+
+        return Tensor._make(out_data, (x, weight, bias), backward)

@@ -1,0 +1,194 @@
+"""Module/Parameter system with per-parameter freezing.
+
+Freezing is first-class because ShadowTutor's partial distillation
+(section 4.2) is implemented by freezing the student's front-end (input
+convs through SB4) and training only the back-end.  A frozen parameter
+sets ``requires_grad=False`` on its tensor, which makes the autograd
+engine skip gradient computation upstream of it — the paper's claimed
+latency/memory win falls out of the graph traversal for free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor.
+
+    ``frozen`` parameters keep their values but are excluded from
+    gradient computation, optimizer updates, and state-dict diffs.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+    @property
+    def frozen(self) -> bool:
+        return not self.requires_grad
+
+    def freeze(self) -> None:
+        self.requires_grad = False
+        self.grad = None
+
+    def unfreeze(self) -> None:
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for network components.
+
+    Subclasses assign :class:`Parameter`, buffers (plain ndarrays via
+    :meth:`register_buffer`) and child :class:`Module` instances as
+    attributes; registration is automatic through ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place (keeps dict and attr in sync)."""
+        if name not in self._buffers:
+            raise KeyError(name)
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for mod_name, module in self.named_modules(prefix):
+            for p_name, param in module._parameters.items():
+                full = f"{mod_name}.{p_name}" if mod_name else p_name
+                yield full, param
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def trainable_parameters(self) -> List[Parameter]:
+        return [p for p in self.parameters() if p.requires_grad]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for mod_name, module in self.named_modules(prefix):
+            for b_name, buf in module._buffers.items():
+                full = f"{mod_name}.{b_name}" if mod_name else b_name
+                yield full, buf
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        params = self.trainable_parameters() if trainable_only else self.parameters()
+        return int(sum(p.size for p in params))
+
+    # ------------------------------------------------------------------
+    # Freezing (partial distillation support)
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        for p in self.parameters():
+            p.freeze()
+
+    def unfreeze(self) -> None:
+        for p in self.parameters():
+            p.unfreeze()
+
+    def freeze_where(self, predicate: Callable[[str], bool]) -> List[str]:
+        """Freeze parameters whose qualified name satisfies ``predicate``.
+
+        Returns the names frozen; used by the freeze-point ablation.
+        """
+        frozen = []
+        for name, p in self.named_parameters():
+            if predicate(name):
+                p.freeze()
+                frozen.append(name)
+        return frozen
+
+    def trainable_fraction(self) -> float:
+        """Fraction of parameters that are trainable (paper quotes 21.4%)."""
+        total = self.num_parameters()
+        return self.num_parameters(trainable_only=True) / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Train/eval mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Flat name -> ndarray mapping of parameters and buffers."""
+        out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, p in self.named_parameters():
+            out[name] = p.data
+        for name, b in self.named_buffers():
+            out[name] = b
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        buffer_owners: Dict[str, Tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for b_name in module._buffers:
+                full = f"{mod_name}.{b_name}" if mod_name else b_name
+                buffer_owners[full] = (module, b_name)
+        missing = (set(params) | set(buffer_owners)) - set(state)
+        unexpected = set(state) - (set(params) | set(buffer_owners))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}")
+                params[name].data = np.asarray(value, dtype=np.float32).copy()
+            elif name in buffer_owners:
+                module, b_name = buffer_owners[name]
+                module.set_buffer(b_name, value)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

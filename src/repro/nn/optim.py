@@ -1,0 +1,91 @@
+"""Optimizers operating on :class:`~repro.nn.module.Parameter` lists.
+
+ShadowTutor trains the student online with Adam at lr=0.01 (section 5.2);
+SGD is provided for the pre-training recipes and ablations.  Optimizers
+skip frozen parameters, so a single optimizer instance works for both
+partial and full distillation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds the parameter list and per-param state."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p in self.params:
+            if not p.requires_grad or p.grad is None:
+                continue
+            self._update(p)
+
+    def _update(self, p: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+
+    def _update(self, p: Parameter) -> None:
+        grad = p.grad
+        if self.momentum > 0:
+            st = self.state.setdefault(id(p), {"velocity": np.zeros_like(p.data)})
+            st["velocity"] *= self.momentum
+            st["velocity"] += grad
+            grad = st["velocity"]
+        p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015); the paper's online-distillation optimizer."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+
+    def _update(self, p: Parameter) -> None:
+        st = self.state.setdefault(
+            id(p),
+            {"m": np.zeros_like(p.data), "v": np.zeros_like(p.data), "t": 0},
+        )
+        st["t"] += 1
+        t = st["t"]
+        # In-place moment updates to avoid reallocating per step.
+        st["m"] *= self.beta1
+        st["m"] += (1 - self.beta1) * p.grad
+        st["v"] *= self.beta2
+        st["v"] += (1 - self.beta2) * (p.grad**2)
+        m_hat = st["m"] / (1 - self.beta1**t)
+        v_hat = st["v"] / (1 - self.beta2**t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset_state(self) -> None:
+        """Drop moment estimates (used when a fresh key frame arrives)."""
+        self.state.clear()

@@ -1,0 +1,86 @@
+"""State-dict serialization, diffing and byte-size accounting.
+
+ShadowTutor's network-traffic results (Tables 4 and 5) hinge on *what*
+is sent per key frame: the whole student after full distillation, but
+only the updated back-end after partial distillation ("UpdatedPart" in
+Algorithm 3).  This module computes those payloads and their sizes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def clone_state_dict(state: Dict[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    """Deep-copy a state dict (checkpointing in Algorithm 1)."""
+    return OrderedDict((k, np.array(v, copy=True)) for k, v in state.items())
+
+
+def param_bytes(arrays: Iterable[np.ndarray]) -> int:
+    """Total payload size in bytes of the given arrays."""
+    return int(sum(a.nbytes for a in arrays))
+
+
+def state_dict_bytes(state: Dict[str, np.ndarray]) -> int:
+    """Payload size of a full state dict in bytes."""
+    return param_bytes(state.values())
+
+
+def state_dict_diff(
+    module: Module,
+    trainable_only: bool = True,
+    include_buffers: bool = True,
+) -> "OrderedDict[str, np.ndarray]":
+    """Extract the part of a module's state that must cross the network.
+
+    With ``trainable_only`` (partial distillation), only unfrozen
+    parameters are included — "it suffices to communicate only the
+    weights that changed" (section 4.2).  Batch-norm running statistics
+    of *unfrozen* BN layers also change during distillation, so they are
+    included when ``include_buffers`` is set; frozen-layer buffers never
+    change and are skipped.
+    """
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    trainable_prefixes = set()
+    for name, p in module.named_parameters():
+        if trainable_only and not p.requires_grad:
+            continue
+        out[name] = np.array(p.data, copy=True)
+        # module path, e.g. "sb5.conv1.weight" -> "sb5.conv1"
+        trainable_prefixes.add(name.rsplit(".", 1)[0] if "." in name else "")
+    if include_buffers:
+        for name, b in module.named_buffers():
+            prefix = name.rsplit(".", 1)[0] if "." in name else ""
+            if trainable_only and prefix not in trainable_prefixes:
+                continue
+            out[name] = np.array(b, copy=True)
+    return out
+
+
+def apply_state_dict(module: Module, update: Dict[str, np.ndarray]) -> None:
+    """Apply a (possibly partial) state update to a module.
+
+    This is Algorithm 4's ``ApplyUpdate``: the client merges the diff
+    received from the server into its local student.
+    """
+    params = dict(module.named_parameters())
+    buffer_owners = {}
+    for mod_name, mod in module.named_modules():
+        for b_name in mod._buffers:
+            full = f"{mod_name}.{b_name}" if mod_name else b_name
+            buffer_owners[full] = (mod, b_name)
+    for name, value in update.items():
+        if name in params:
+            if params[name].data.shape != value.shape:
+                raise ValueError(f"shape mismatch applying update for {name}")
+            params[name].data = np.asarray(value, dtype=np.float32).copy()
+        elif name in buffer_owners:
+            mod, b_name = buffer_owners[name]
+            mod.set_buffer(b_name, value)
+        else:
+            raise KeyError(f"update contains unknown entry {name!r}")

@@ -1,0 +1,225 @@
+"""Algorithm 4: the ShadowTutor client (mobile device).
+
+The client walks the video in strict temporal order.  At a key frame it
+ships the frame to the server *asynchronously* and keeps inferring with
+its (slightly stale) student — the paper's key robustness mechanism.
+The pending update is awaited only if it has not arrived within
+MIN_STRIDE frames (Algorithm 4, lines 14-17); on arrival the update is
+applied and the next stride computed from the server-reported metric.
+
+Timing: every frame costs ``t_si`` of simulated time; the server-side
+pipeline (uplink transfer, teacher inference, ``steps`` distillation
+steps, downlink transfer) runs concurrently with client inference, and
+its completion time determines whether the client ever blocks.  This is
+the "capable of full concurrency" end of the paper's t_c bounds
+(Eq. 2); the blocking wait at ``step == MIN_STRIDE`` realises the other
+end when the network is slow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.distill.config import DistillConfig
+from repro.models.student import StudentNet
+from repro.network.messages import MessageSizes
+from repro.network.model import NetworkModel
+from repro.nn.serialize import apply_state_dict
+from repro.runtime.clock import LatencyModel, SimClock
+from repro.runtime.server import Server, ServerReply
+from repro.runtime.stats import FrameRecord, KeyFrameRecord, RunStats
+from repro.runtime.trace import EventType, NullTrace, Trace
+from repro.segmentation.metrics import mean_iou
+from repro.striding.adaptive import AdaptiveStride
+from repro.striding.baselines import StridePolicy
+
+
+@dataclasses.dataclass
+class _PendingUpdate:
+    """A student update in flight from the server."""
+
+    reply: ServerReply
+    ready_at: float              #: simulated time the reply is fully received
+    sent_frame_index: int
+    frames_since_send: int = 0
+
+
+class Client:
+    """Runs Algorithm 4 against a :class:`~repro.runtime.server.Server`.
+
+    Parameters
+    ----------
+    forced_delay_frames:
+        When set, overrides network timing for *update application*: the
+        update is applied exactly this many frames after the key frame.
+        This reproduces the paper's P-1 / P-8 accuracy protocol
+        (Table 6) where the delay is pinned to the best/worst case.
+    """
+
+    def __init__(
+        self,
+        student: StudentNet,
+        server: Server,
+        config: DistillConfig,
+        latency: Optional[LatencyModel] = None,
+        network: Optional[NetworkModel] = None,
+        sizes: Optional[MessageSizes] = None,
+        stride_policy: Optional[StridePolicy] = None,
+        forced_delay_frames: Optional[int] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.student = student
+        self.server = server
+        self.config = config
+        self.latency = latency or LatencyModel()
+        self.network = network or NetworkModel()
+        self.sizes = sizes or MessageSizes.paper()
+        self.stride_policy = stride_policy or AdaptiveStride(config)
+        self.forced_delay_frames = forced_delay_frames
+        self.trace = trace if trace is not None else NullTrace()
+        self.clock = SimClock()
+        #: Serialisation point of the uplink: a second key frame cannot
+        #: start transferring before the previous transfer finished.
+        self._uplink_free_at = 0.0
+        self._partial = server.config.mode.value == "partial"
+
+    def _transfer_time(self, nbytes: int, start: float) -> float:
+        """Transfer duration honouring dynamic bandwidth schedules."""
+        try:
+            return self.network.transfer_time(nbytes, start)  # type: ignore[call-arg]
+        except TypeError:
+            return self.network.transfer_time(nbytes)
+
+    # ------------------------------------------------------------------
+    def _dispatch_key_frame(
+        self, frame: np.ndarray, label: Optional[np.ndarray], index: int
+    ) -> Tuple[_PendingUpdate, KeyFrameRecord]:
+        """Send a key frame; returns the in-flight update handle."""
+        up_bytes = self.sizes.frame_to_server
+        send_start = max(self.clock.now, self._uplink_free_at)
+        up_done = send_start + self._transfer_time(up_bytes, send_start)
+        self._uplink_free_at = up_done
+
+        # Real server-side computation happens here (teacher inference +
+        # Algorithm 1); only its *timing* is modelled.
+        reply, result = self.server.handle_key_frame(frame, label)
+        server_time = self.latency.t_ti + result.steps * self.latency.t_sd(self._partial)
+        down_bytes = self.server.reply_bytes()
+        down_start = up_done + server_time
+        ready_at = down_start + self._transfer_time(down_bytes, down_start)
+
+        record = KeyFrameRecord(
+            index=index,
+            metric=reply.metric,
+            initial_metric=reply.initial_metric,
+            steps=reply.steps,
+            up_bytes=up_bytes,
+            down_bytes=down_bytes,
+        )
+        return _PendingUpdate(reply, ready_at, index), record
+
+    def _apply_update(self, pending: _PendingUpdate) -> None:
+        apply_state_dict(self.student, pending.reply.update)
+        old_stride = self.stride_policy.stride
+        self.stride_policy.update(pending.reply.metric)
+        self.trace.emit(
+            EventType.UPDATE_APPLY, self.clock.now, pending.sent_frame_index,
+            key_index=pending.sent_frame_index,
+            metric=pending.reply.metric,
+            delay_frames=pending.frames_since_send,
+        )
+        if self.stride_policy.stride != old_stride:
+            self.trace.emit(
+                EventType.STRIDE_CHANGE, self.clock.now,
+                pending.sent_frame_index,
+                old=old_stride, new=self.stride_policy.stride,
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        frames: Iterable[Tuple[np.ndarray, np.ndarray]],
+        label: str = "",
+    ) -> RunStats:
+        """Process a stream of ``(frame, ground_truth_label)`` pairs.
+
+        The ground-truth label is used (a) by oracle teachers as the
+        pseudo-label source and (b) to score every frame's mIoU against
+        the teacher-consistent reference, exactly as the paper evaluates
+        against the teacher output.
+        """
+        cfg = self.config
+        stats = RunStats(label=label)
+        self.stride_policy.reset()
+        stride = self.stride_policy.frames_to_next()
+        step = stride  # first frame is a key frame (Alg. 4 line 2)
+        pending: Optional[_PendingUpdate] = None
+
+        for index, (frame, gt_label) in enumerate(frames):
+            update_delay: Optional[int] = None
+            is_key = step == stride
+
+            if is_key:  # key frame
+                if pending is not None:
+                    # A previous update never arrived within its stride
+                    # window; apply it now before re-dispatching (keeps
+                    # exactly one update in flight, as in Alg. 4).
+                    if self.clock.now < pending.ready_at:
+                        stats.wait_time_s += pending.ready_at - self.clock.now
+                    self.clock.advance_to(pending.ready_at)
+                    self._apply_update(pending)
+                pending, kf_record = self._dispatch_key_frame(frame, gt_label, index)
+                self.trace.emit(
+                    EventType.KEY_DISPATCH, self.clock.now, index,
+                    steps=kf_record.steps, metric=kf_record.metric,
+                )
+                stats.key_frames.append(kf_record)
+                stats.total_up_bytes += kf_record.up_bytes
+                stats.total_down_bytes += kf_record.down_bytes
+                step = 0
+
+            # On-device inference with the (possibly stale) student.
+            pred = self.student.predict(frame)
+            self.clock.advance(self.latency.t_si)
+            step += 1
+
+            if pending is not None:
+                pending.frames_since_send += 1
+                if self.forced_delay_frames is not None:
+                    if pending.frames_since_send >= self.forced_delay_frames:
+                        update_delay = pending.frames_since_send
+                        self._apply_update(pending)
+                        pending = None
+                else:
+                    if step == cfg.min_stride and self.clock.now < pending.ready_at:
+                        # Alg. 4 line 15-16: wait — the next key frame
+                        # stride may be MIN_STRIDE.
+                        duration = pending.ready_at - self.clock.now
+                        stats.wait_time_s += duration
+                        self.trace.emit(
+                            EventType.WAIT, self.clock.now, index,
+                            duration=duration,
+                        )
+                        self.clock.advance_to(pending.ready_at)
+                    if self.clock.now >= pending.ready_at:
+                        update_delay = pending.frames_since_send
+                        self._apply_update(pending)
+                        pending = None
+
+            stride = self.stride_policy.frames_to_next()
+            stats.frames.append(
+                FrameRecord(
+                    index=index,
+                    is_key=is_key,
+                    miou=mean_iou(pred, gt_label),
+                    sim_time=self.clock.now,
+                    stride=self.stride_policy.stride,
+                    update_delay=update_delay,
+                )
+            )
+
+        stats.total_time_s = self.clock.now
+        return stats

@@ -1,0 +1,62 @@
+"""Simulated time and the component-latency model.
+
+The reproduction separates *what* the system computes (real NumPy
+training and inference, which determine metrics, stride dynamics and
+distill step counts) from *how long* each component takes (the paper's
+measured latencies, Table 1 / section 5.3).  ``SimClock`` is advanced
+by the client loop using ``LatencyModel`` costs; message delivery times
+come from :class:`~repro.network.model.NetworkModel` via the simulated
+channel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class LatencyModel:
+    """Component latencies in seconds (paper section 5.3 defaults).
+
+    ``t_si``: student inference on the mobile device (0.143 s on Jetson
+    Nano at 720p).  ``t_sd_partial`` / ``t_sd_full``: one distillation
+    step on the server (13 ms / 18 ms, Table 2).  ``t_ti``: teacher
+    inference on the server (0.044 s).
+    """
+
+    t_si: float = 0.143
+    t_sd_partial: float = 0.013
+    t_sd_full: float = 0.018
+    t_ti: float = 0.044
+
+    def t_sd(self, partial: bool) -> float:
+        return self.t_sd_partial if partial else self.t_sd_full
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"{field.name} must be non-negative")
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("cannot advance by negative time")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time ``t`` (no-op if in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now

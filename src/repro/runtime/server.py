@@ -1,0 +1,113 @@
+"""Algorithm 3: the ShadowTutor server.
+
+Per key frame received: run teacher inference to obtain the
+pseudo-label, run Algorithm 1 (student training) on the server-side
+student copy, and send back only the updated part of the student plus
+the post-distillation metric.
+
+The server is written against the :class:`~repro.comm.interface.Endpoint`
+abstraction so the same class drives both the simulated single-process
+runs and the real two-process pipe transport.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.interface import Endpoint
+from repro.distill.config import DistillConfig, DistillMode
+from repro.distill.trainer import StudentTrainer, TrainResult
+from repro.models.student import StudentNet
+from repro.models.teacher import Teacher
+from repro.network.messages import MessageSizes
+from repro.nn.serialize import state_dict_diff, state_dict_bytes
+
+
+@dataclasses.dataclass
+class ServerReply:
+    """Payload the server sends back per key frame."""
+
+    update: Dict[str, np.ndarray]
+    metric: float
+    steps: int
+    initial_metric: float
+
+
+class Server:
+    """Holds the teacher and the server-side student copy (Alg. 3)."""
+
+    def __init__(
+        self,
+        student: StudentNet,
+        teacher: Teacher,
+        config: DistillConfig,
+        sizes: Optional[MessageSizes] = None,
+        freeze_modules: Optional[tuple] = None,
+    ) -> None:
+        self.config = config
+        self.teacher = teacher
+        self.trainer = StudentTrainer(student, config, freeze_modules=freeze_modules)
+        self.sizes = sizes or MessageSizes.paper()
+        self._custom_freeze = freeze_modules is not None
+
+    @property
+    def student(self) -> StudentNet:
+        return self.trainer.student
+
+    # ------------------------------------------------------------------
+    def handle_key_frame(
+        self, frame: np.ndarray, label: Optional[np.ndarray] = None
+    ) -> Tuple[ServerReply, TrainResult]:
+        """Process one key frame: teacher inference + student training.
+
+        ``label`` is the renderer ground truth forwarded to oracle
+        teachers; neural teachers ignore it.
+        """
+        pseudo_label = self.teacher.infer(frame, label)
+        result = self.trainer.train(frame, pseudo_label)
+        partial_payload = (
+            self.trainer.trainable_fraction < 1.0
+            if self._custom_freeze
+            else self.config.mode is DistillMode.PARTIAL
+        )
+        update = state_dict_diff(self.student, trainable_only=partial_payload)
+        reply = ServerReply(
+            update=update,
+            metric=result.metric,
+            steps=result.steps,
+            initial_metric=result.initial_metric,
+        )
+        return reply, result
+
+    def reply_bytes(self) -> int:
+        """Wire size of the student update (paper-scale, Table 4)."""
+        if self.config.mode is DistillMode.PARTIAL:
+            return self.sizes.student_diff_partial
+        return self.sizes.student_full
+
+    # ------------------------------------------------------------------
+    def serve(self, endpoint: Endpoint, initial_send: bool = True) -> int:
+        """Blocking server loop over a real transport (Alg. 3 verbatim).
+
+        Sends the initial student weights, then loops on key frames
+        until a ``None`` sentinel arrives.  Returns the number of key
+        frames served.  Used with the multiprocessing transport; the
+        simulated runs drive :meth:`handle_key_frame` directly.
+        """
+        if initial_send:
+            endpoint.send(
+                dict(self.student.state_dict()), state_dict_bytes(self.student.state_dict())
+            )
+        served = 0
+        while True:
+            msg = endpoint.recv()
+            if msg is None:
+                break
+            frame, label = msg
+            reply, _ = self.handle_key_frame(frame, label)
+            endpoint.send(reply, self.reply_bytes())
+            served += 1
+        return served

@@ -1,0 +1,159 @@
+"""Session orchestration: build all components and run one experiment.
+
+These helpers are the top of the public API: give them a video and a
+configuration and they return :class:`~repro.runtime.stats.RunStats`
+with everything the paper's tables need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.distill.config import DistillConfig, DistillMode
+from repro.models.student import StudentNet
+from repro.models.teacher import OracleTeacher, Teacher
+from repro.models.pretrain import pretrain_student
+from repro.network.messages import MessageSizes
+from repro.network.model import NetworkModel
+from repro.nn.serialize import clone_state_dict
+from repro.runtime.client import Client
+from repro.runtime.clock import LatencyModel
+from repro.runtime.naive import NaiveOffloadClient
+from repro.runtime.stats import FrameRecord, RunStats
+from repro.runtime.server import Server
+from repro.segmentation.metrics import mean_iou
+from repro.striding.baselines import StridePolicy
+from repro.video.generator import SyntheticVideo
+
+
+@dataclasses.dataclass
+class SessionConfig:
+    """Everything needed to run one ShadowTutor session."""
+
+    distill: DistillConfig = dataclasses.field(default_factory=DistillConfig)
+    latency: LatencyModel = dataclasses.field(default_factory=LatencyModel)
+    network: NetworkModel = dataclasses.field(default_factory=NetworkModel)
+    sizes: MessageSizes = dataclasses.field(default_factory=MessageSizes.paper)
+    student_width: float = 0.5
+    student_seed: int = 0
+    pretrain_steps: int = 80
+    forced_delay_frames: Optional[int] = None
+    teacher_boundary_noise: float = 0.0
+
+
+#: Cache of pre-trained student checkpoints keyed by (width, seed, steps,
+#: height, width) — pre-training is "a one-time cost" (section 4.1.3)
+#: and every experiment starts "from the same pre-trained student
+#: checkpoint" (section 6).
+_PRETRAINED_CACHE: dict = {}
+
+
+def pretrained_student(
+    width: float = 0.5,
+    seed: int = 0,
+    steps: int = 40,
+    frame_hw: Tuple[int, int] = (64, 96),
+) -> StudentNet:
+    """Return a student loaded from the shared pre-trained checkpoint."""
+    key = (width, seed, steps, frame_hw)
+    if key not in _PRETRAINED_CACHE:
+        student = StudentNet(width=width, seed=seed)
+        if steps > 0:
+            pretrain_student(student, steps=steps, height=frame_hw[0], width=frame_hw[1])
+        _PRETRAINED_CACHE[key] = clone_state_dict(student.state_dict())
+    student = StudentNet(width=width, seed=seed)
+    student.load_state_dict(_PRETRAINED_CACHE[key])
+    return student
+
+
+def run_shadowtutor(
+    video: SyntheticVideo,
+    num_frames: int,
+    config: Optional[SessionConfig] = None,
+    teacher: Optional[Teacher] = None,
+    stride_policy: Optional[StridePolicy] = None,
+    label: str = "",
+) -> RunStats:
+    """Run the full ShadowTutor system on ``num_frames`` of ``video``."""
+    config = config or SessionConfig()
+    hw = (video.config.height, video.config.width)
+    # Both server and client start from the same pre-trained checkpoint.
+    server_student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, hw
+    )
+    client_student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, hw
+    )
+    teacher = teacher or OracleTeacher(config.teacher_boundary_noise)
+    server = Server(server_student, teacher, config.distill, config.sizes)
+    client = Client(
+        client_student,
+        server,
+        config.distill,
+        latency=config.latency,
+        network=config.network,
+        sizes=config.sizes,
+        stride_policy=stride_policy,
+        forced_delay_frames=config.forced_delay_frames,
+    )
+    video.reset()
+    return client.run(video.frames(num_frames), label=label or video.config.name)
+
+
+def run_naive(
+    video: SyntheticVideo,
+    num_frames: int,
+    config: Optional[SessionConfig] = None,
+    teacher: Optional[Teacher] = None,
+    label: str = "naive",
+) -> RunStats:
+    """Run the naive-offloading baseline on the same stream."""
+    config = config or SessionConfig()
+    teacher = teacher or OracleTeacher(config.teacher_boundary_noise)
+    client = NaiveOffloadClient(
+        teacher,
+        latency=config.latency,
+        network=config.network,
+        sizes=config.sizes,
+    )
+    video.reset()
+    return client.run(video.frames(num_frames), label=label)
+
+
+def run_wild(
+    video: SyntheticVideo,
+    num_frames: int,
+    config: Optional[SessionConfig] = None,
+    label: str = "wild",
+) -> RunStats:
+    """Run the pre-trained student with no shadow education (Table 6, "Wild").
+
+    Every frame is processed on-device with the unchanging pre-trained
+    weights; no network traffic at all.
+    """
+    config = config or SessionConfig()
+    hw = (video.config.height, video.config.width)
+    student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, hw
+    )
+    student.eval()
+    stats = RunStats(label=label)
+    t = 0.0
+    video.reset()
+    for index, (frame, gt_label) in enumerate(video.frames(num_frames)):
+        pred = student.predict(frame)
+        t += config.latency.t_si
+        stats.frames.append(
+            FrameRecord(
+                index=index,
+                is_key=False,
+                miou=mean_iou(pred, gt_label),
+                sim_time=t,
+                stride=0.0,
+            )
+        )
+    stats.total_time_s = t
+    return stats

@@ -1,0 +1,124 @@
+"""Run statistics: everything the paper's tables are computed from."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class FrameRecord:
+    """Per-frame trace entry."""
+
+    index: int
+    is_key: bool
+    miou: float
+    sim_time: float          #: simulated time when the frame finished
+    stride: float            #: stride in effect when the frame was processed
+    update_delay: Optional[int] = None  #: frames waited for the student update
+
+
+@dataclasses.dataclass
+class KeyFrameRecord:
+    """Per-key-frame trace entry."""
+
+    index: int
+    metric: float            #: post-distillation mIoU on the key frame
+    initial_metric: float
+    steps: int               #: distillation steps taken
+    up_bytes: int
+    down_bytes: int
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Aggregated results of one system run.
+
+    Exposes exactly the quantities the paper reports: throughput
+    (Table 3), per-key-frame data sizes (Table 4), key-frame ratio and
+    network traffic (Table 5), and mean IoU over all frames (Table 6).
+    """
+
+    frames: List[FrameRecord] = dataclasses.field(default_factory=list)
+    key_frames: List[KeyFrameRecord] = dataclasses.field(default_factory=list)
+    total_time_s: float = 0.0
+    total_up_bytes: int = 0
+    total_down_bytes: int = 0
+    #: Simulated time the client spent blocked waiting for a pending
+    #: student update (Alg. 4 line 16) — zero when the network keeps up.
+    wait_time_s: float = 0.0
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def num_key_frames(self) -> int:
+        return len(self.key_frames)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Frames processed per second of simulated time (Table 3)."""
+        return self.num_frames / self.total_time_s if self.total_time_s else 0.0
+
+    @property
+    def key_frame_ratio(self) -> float:
+        """Fraction of frames that were key frames (Table 5, in [0,1])."""
+        return self.num_key_frames / self.num_frames if self.num_frames else 0.0
+
+    @property
+    def mean_miou(self) -> float:
+        """Per-frame mIoU averaged over every frame (Table 6)."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.miou for f in self.frames]))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_up_bytes + self.total_down_bytes
+
+    @property
+    def network_traffic_mbps(self) -> float:
+        """Average traffic over the run in Mbps (Table 5)."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_bytes * 8 / 1e6 / self.total_time_s
+
+    @property
+    def mean_distill_steps(self) -> float:
+        """Mean number of optimisation steps per key frame (Table 2).
+
+        Averaged over key frames that entered the training loop (the
+        paper's d counts actual distillation steps).
+        """
+        stepped = [k.steps for k in self.key_frames if k.steps > 0]
+        return float(np.mean(stepped)) if stepped else 0.0
+
+    @property
+    def bytes_per_key_frame(self) -> Dict[str, float]:
+        """Mean per-key-frame payloads in MB (Table 4)."""
+        if not self.key_frames:
+            return {"to_server": 0.0, "to_client": 0.0, "total": 0.0}
+        mb = 1_000_000  # decimal MB, matching the paper's Table 4
+        up = float(np.mean([k.up_bytes for k in self.key_frames])) / mb
+        down = float(np.mean([k.down_bytes for k in self.key_frames])) / mb
+        return {"to_server": up, "to_client": down, "total": up + down}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers for reports."""
+        per_kf = self.bytes_per_key_frame
+        return {
+            "frames": self.num_frames,
+            "key_frames": self.num_key_frames,
+            "throughput_fps": self.throughput_fps,
+            "exec_time_s": self.total_time_s,
+            "key_frame_ratio_pct": 100 * self.key_frame_ratio,
+            "mean_miou_pct": 100 * self.mean_miou,
+            "traffic_mbps": self.network_traffic_mbps,
+            "mb_per_keyframe_total": per_kf["total"],
+            "mean_distill_steps": self.mean_distill_steps,
+        }

@@ -1,0 +1,110 @@
+"""Structured event tracing for system runs.
+
+The client emits a typed event stream (frame processed, key frame
+dispatched, update applied, client blocked) that can be inspected
+programmatically or exported to JSON for offline timeline analysis.
+Tracing is opt-in and adds no cost when disabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class EventType(str, enum.Enum):
+    FRAME = "frame"                  #: one frame inferred on-device
+    KEY_DISPATCH = "key_dispatch"    #: key frame sent to the server
+    UPDATE_APPLY = "update_apply"    #: student update applied
+    WAIT = "wait"                    #: client blocked on a pending update
+    STRIDE_CHANGE = "stride_change"  #: Algorithm 2 changed the stride
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One timeline entry."""
+
+    type: EventType
+    sim_time: float
+    frame_index: int
+    #: Event-specific payload (metric, stride, wait duration, ...).
+    detail: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": self.type.value,
+            "sim_time": self.sim_time,
+            "frame_index": self.frame_index,
+            **self.detail,
+        }
+
+
+class Trace:
+    """An append-only event log."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[Event] = []
+
+    def emit(
+        self,
+        type: EventType,
+        sim_time: float,
+        frame_index: int,
+        **detail: float,
+    ) -> None:
+        if self.enabled:
+            self.events.append(Event(type, sim_time, frame_index, detail))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_type(self, type: EventType) -> List[Event]:
+        return [e for e in self.events if e.type is type]
+
+    def total_wait_time(self) -> float:
+        return sum(e.detail.get("duration", 0.0) for e in self.of_type(EventType.WAIT))
+
+    def dispatch_to_apply_latencies(self) -> List[float]:
+        """Simulated seconds between each key-frame send and the
+        application of its update (the async pipeline's depth)."""
+        dispatches = {e.frame_index: e.sim_time for e in self.of_type(EventType.KEY_DISPATCH)}
+        out = []
+        for apply_event in self.of_type(EventType.UPDATE_APPLY):
+            sent_at = dispatches.get(int(apply_event.detail.get("key_index", -1)))
+            if sent_at is not None:
+                out.append(apply_event.sim_time - sent_at)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_json(self, path: Optional[Union[str, pathlib.Path]] = None) -> str:
+        """Serialize to JSON; optionally write to ``path``."""
+        body = json.dumps([e.to_dict() for e in self.events], indent=1)
+        if path is not None:
+            pathlib.Path(path).write_text(body)
+        return body
+
+    @staticmethod
+    def from_json(body: str) -> "Trace":
+        trace = Trace()
+        for entry in json.loads(body):
+            entry = dict(entry)
+            etype = EventType(entry.pop("type"))
+            sim_time = entry.pop("sim_time")
+            frame_index = entry.pop("frame_index")
+            trace.events.append(Event(etype, sim_time, frame_index, entry))
+        return trace
+
+
+class NullTrace(Trace):
+    """Disabled trace (default): emit is a no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)

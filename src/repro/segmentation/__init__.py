@@ -1,0 +1,28 @@
+"""Semantic-segmentation task utilities.
+
+ShadowTutor evaluates on HD video semantic segmentation over the LVS
+dataset's 8 actively-moving object classes plus background (section 5.2).
+This package defines the class palette, the mean-IoU metric of Eq. 1,
+and the LVS-style boundary-weighted cross-entropy loss.
+"""
+
+from repro.segmentation.classes import LVS_CLASSES, NUM_CLASSES, BACKGROUND
+from repro.segmentation.metrics import (
+    iou_per_class,
+    mean_iou,
+    confusion_matrix,
+    pixel_accuracy,
+)
+from repro.segmentation.losses import lvs_weight_map, weighted_cross_entropy
+
+__all__ = [
+    "LVS_CLASSES",
+    "NUM_CLASSES",
+    "BACKGROUND",
+    "iou_per_class",
+    "mean_iou",
+    "confusion_matrix",
+    "pixel_accuracy",
+    "lvs_weight_map",
+    "weighted_cross_entropy",
+]

@@ -1,0 +1,84 @@
+"""Segmentation metrics: IoU per class and mean IoU (paper Eq. 1).
+
+Following the paper, the mean is taken over the classes *present in the
+ground-truth label* ("The IoU is computed for each class in the ground
+truth label and averaged"), so frames containing only background score on
+background alone rather than being diluted by absent classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.segmentation.classes import NUM_CLASSES
+
+
+def confusion_matrix(
+    pred: np.ndarray, label: np.ndarray, num_classes: int = NUM_CLASSES
+) -> np.ndarray:
+    """Dense confusion matrix ``M[i, j]`` = #pixels with label i predicted j."""
+    pred = np.asarray(pred).ravel()
+    label = np.asarray(label).ravel()
+    if pred.shape != label.shape:
+        raise ValueError(f"pred {pred.shape} vs label {label.shape}")
+    mask = (label >= 0) & (label < num_classes)
+    idx = label[mask].astype(np.int64) * num_classes + pred[mask].astype(np.int64)
+    return np.bincount(idx, minlength=num_classes**2).reshape(num_classes, num_classes)
+
+
+def iou_per_class(
+    pred: np.ndarray,
+    label: np.ndarray,
+    num_classes: int = NUM_CLASSES,
+) -> Dict[int, float]:
+    """IoU for every class present in ``label`` (Eq. 1)."""
+    cm = confusion_matrix(pred, label, num_classes)
+    present = np.flatnonzero(cm.sum(axis=1) > 0)
+    out: Dict[int, float] = {}
+    for c in present:
+        inter = cm[c, c]
+        union = cm[c, :].sum() + cm[:, c].sum() - inter
+        out[int(c)] = float(inter / union) if union > 0 else 1.0
+    return out
+
+
+def mean_iou(
+    pred: np.ndarray,
+    label: np.ndarray,
+    num_classes: int = NUM_CLASSES,
+) -> float:
+    """Mean IoU over classes present in the label; in [0, 1]."""
+    ious = iou_per_class(pred, label, num_classes)
+    if not ious:
+        return 1.0
+    return float(np.mean(list(ious.values())))
+
+
+def pixel_accuracy(pred: np.ndarray, label: np.ndarray) -> float:
+    """Fraction of correctly classified pixels."""
+    pred = np.asarray(pred)
+    label = np.asarray(label)
+    return float((pred == label).mean())
+
+
+class RunningMeanIoU:
+    """Streaming mIoU averaged per frame, as the paper's Table 6 does
+    ("The mIoU of every frame ... is averaged")."""
+
+    def __init__(self, num_classes: int = NUM_CLASSES) -> None:
+        self.num_classes = num_classes
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, pred: np.ndarray, label: np.ndarray) -> float:
+        """Add one frame; returns that frame's mIoU."""
+        value = mean_iou(pred, label, self.num_classes)
+        self.total += value
+        self.count += 1
+        return value
+
+    @property
+    def value(self) -> float:
+        return self.total / self.count if self.count else 0.0

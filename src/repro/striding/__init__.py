@@ -1,0 +1,12 @@
+"""Key-frame striding policies (paper Algorithm 2 plus baselines)."""
+
+from repro.striding.adaptive import AdaptiveStride, next_stride
+from repro.striding.baselines import FixedStride, ExponentialBackoffStride, StridePolicy
+
+__all__ = [
+    "AdaptiveStride",
+    "next_stride",
+    "FixedStride",
+    "ExponentialBackoffStride",
+    "StridePolicy",
+]

@@ -1,0 +1,66 @@
+"""Algorithm 2: the adaptive key-frame stride.
+
+The ratio of the next stride to the current one is a piecewise-linear
+function of the post-distillation metric:
+
+* below THRESHOLD the ratio is ``metric / THRESHOLD`` — a line through
+  (0, 0) and (THRESHOLD, 1), shrinking the stride when the student is
+  struggling;
+* above THRESHOLD it is ``(metric - 2*THRESHOLD + 1) / (1 - THRESHOLD)``
+  — a line through (THRESHOLD, 1) and (1, 2), stretching the stride up
+  to 2x when the student nails the scene.
+
+The stride is then clamped to [MIN_STRIDE, MAX_STRIDE] to stop it from
+vanishing or diverging.
+"""
+
+from __future__ import annotations
+
+from repro.distill.config import DistillConfig
+
+
+def next_stride(
+    stride: float,
+    metric: float,
+    threshold: float,
+    min_stride: int,
+    max_stride: int,
+) -> float:
+    """Compute the next key-frame stride (Algorithm 2, NextStride)."""
+    if not 0.0 <= metric <= 1.0:
+        raise ValueError(f"metric must be in [0, 1], got {metric}")
+    if metric < threshold:
+        ratio = metric / threshold
+    else:
+        ratio = (metric - 2.0 * threshold + 1.0) / (1.0 - threshold)
+    stride = ratio * stride
+    return float(min(max(stride, min_stride), max_stride))
+
+
+class AdaptiveStride:
+    """Stateful wrapper around :func:`next_stride`.
+
+    Tracks the continuous stride value; :meth:`frames_to_next` rounds it
+    to whole frames for scheduling.  Starts at MIN_STRIDE as in
+    Algorithm 4, line 1.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, config: DistillConfig) -> None:
+        self.config = config
+        self.stride: float = float(config.min_stride)
+
+    def update(self, metric: float) -> float:
+        """Feed the post-distillation metric; returns the new stride."""
+        cfg = self.config
+        self.stride = next_stride(
+            self.stride, metric, cfg.threshold, cfg.min_stride, cfg.max_stride
+        )
+        return self.stride
+
+    def frames_to_next(self) -> int:
+        return int(round(self.stride))
+
+    def reset(self) -> None:
+        self.stride = float(self.config.min_stride)

@@ -1,0 +1,77 @@
+"""Baseline striding policies from the literature the paper contrasts
+with (section 4.1.5): fixed stride (Deep Feature Flow) and exponential
+back-off (Online Model Distillation).  Used by the striding ablation
+benchmark to show why the adaptive policy was chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.distill.config import DistillConfig
+
+
+class StridePolicy(Protocol):
+    """Interface shared by all striding policies."""
+
+    name: str
+    stride: float
+
+    def update(self, metric: float) -> float:
+        """Consume the post-distillation metric, return the new stride."""
+        ...
+
+    def frames_to_next(self) -> int:
+        ...
+
+    def reset(self) -> None:
+        ...
+
+
+class FixedStride:
+    """Constant stride regardless of student performance."""
+
+    name = "fixed"
+
+    def __init__(self, config: DistillConfig, stride: int | None = None) -> None:
+        self.config = config
+        self._fixed = float(stride if stride is not None else config.min_stride)
+        self.stride = self._fixed
+
+    def update(self, metric: float) -> float:
+        return self.stride
+
+    def frames_to_next(self) -> int:
+        return int(round(self.stride))
+
+    def reset(self) -> None:
+        self.stride = self._fixed
+
+
+class ExponentialBackoffStride:
+    """Double on success, reset to MIN_STRIDE on failure.
+
+    "Success" is metric above THRESHOLD.  This is the policy family the
+    paper calls "not adaptive or simplistic" — it cannot take
+    intermediate values, so it oscillates on borderline scenes.
+    """
+
+    name = "exponential"
+
+    def __init__(self, config: DistillConfig) -> None:
+        self.config = config
+        self.stride = float(config.min_stride)
+
+    def update(self, metric: float) -> float:
+        cfg = self.config
+        if metric > cfg.threshold:
+            self.stride = min(self.stride * 2.0, cfg.max_stride)
+        else:
+            self.stride = float(cfg.min_stride)
+        return self.stride
+
+    def frames_to_next(self) -> int:
+        return int(round(self.stride))
+
+    def reset(self) -> None:
+        self.stride = float(self.config.min_stride)

@@ -1,0 +1,38 @@
+"""Synthetic temporally-coherent video, substituting for the LVS dataset.
+
+The LVS dataset used in the paper (720p HD, 25-30 FPS, 8 moving object
+classes, camera styles fixed / moving / egocentric, sceneries animals /
+people / street) is not redistributable here, so this package generates
+synthetic videos with the same *structure*: textured backgrounds,
+moving textured objects of the LVS classes, per-category difficulty, and
+explicit control over temporal coherence (object speed, appearance
+drift, camera motion).  Ground-truth segmentation labels fall out of the
+renderer, which is what lets the oracle teacher stand in for Mask R-CNN
+(see DESIGN.md section 2).
+"""
+
+from repro.video.scene import Camera, CameraModel, SceneObject, Scene
+from repro.video.generator import SyntheticVideo, VideoConfig
+from repro.video.dataset import (
+    LVS_CATEGORIES,
+    NAMED_VIDEOS,
+    CategorySpec,
+    make_category_video,
+    make_named_video,
+    resample_fps,
+)
+
+__all__ = [
+    "Camera",
+    "CameraModel",
+    "SceneObject",
+    "Scene",
+    "SyntheticVideo",
+    "VideoConfig",
+    "LVS_CATEGORIES",
+    "NAMED_VIDEOS",
+    "CategorySpec",
+    "make_category_video",
+    "make_named_video",
+    "resample_fps",
+]

@@ -1,0 +1,125 @@
+"""Synthetic video stream: config + frame iterator.
+
+A :class:`SyntheticVideo` is a deterministic stream of
+``(frame, label)`` pairs.  Difficulty knobs (object count, speed,
+texture drift, background drift) control temporal coherence and hence
+how hard the stream is for ShadowTutor's online-distilled student —
+these are calibrated per LVS category in :mod:`repro.video.dataset`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.video.render import render_scene
+from repro.video.scene import Camera, CameraModel, Scene, SceneObject
+
+
+@dataclasses.dataclass(frozen=True)
+class VideoConfig:
+    """Full specification of one synthetic video stream."""
+
+    name: str = "video"
+    height: int = 64
+    width: int = 96
+    fps: float = 28.0
+    camera: CameraModel = CameraModel.FIXED
+    #: Which LVS class ids may appear (scenery determines this set).
+    class_pool: Tuple[int, ...] = (1, 3)
+    num_objects: int = 3
+    #: Mean object speed in pixels/frame at the native FPS.
+    speed: float = 0.6
+    #: Per-frame texture phase drift — appearance change rate.
+    texture_drift: float = 0.02
+    #: Background phase drift per frame.
+    background_drift: float = 0.005
+    #: Object size range as a fraction of frame height.
+    size_range: Tuple[float, float] = (0.12, 0.30)
+    seed: int = 0
+    #: Scene-cut interval in frames (0 = no cuts). Street scenes have
+    #: occasional hard content changes (new vehicles entering).
+    shot_length: int = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.height, self.width
+
+
+class SyntheticVideo:
+    """Deterministic iterator of ``(frame, label)`` pairs.
+
+    Iterating is single-pass in strict temporal order, exactly like the
+    mobile client's camera feed (paper section 4.1.1); call
+    :meth:`reset` to rewind.
+    """
+
+    def __init__(self, config: VideoConfig) -> None:
+        self.config = config
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def _spawn_object(self, rng: np.random.Generator) -> SceneObject:
+        cfg = self.config
+        h, w = cfg.shape
+        size_lo, size_hi = cfg.size_range
+        ry = rng.uniform(size_lo, size_hi) * h
+        rx = ry * rng.uniform(0.7, 1.6)
+        angle = rng.uniform(0, 2 * np.pi)
+        speed = rng.uniform(0.5, 1.5) * cfg.speed
+        return SceneObject(
+            class_id=int(rng.choice(cfg.class_pool)),
+            center=np.array([rng.uniform(0, h), rng.uniform(0, w)], dtype=float),
+            velocity=speed * np.array([np.sin(angle), np.cos(angle)]),
+            radii=(float(ry), float(rx)),
+            texture_phase=float(rng.uniform(0, 2 * np.pi)),
+            texture_freq=float(rng.uniform(0.3, 0.9)),
+            texture_drift=cfg.texture_drift * rng.uniform(0.5, 1.5),
+            brightness=float(rng.uniform(0.7, 1.0)),
+        )
+
+    def _build_scene(self) -> Scene:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        objects: List[SceneObject] = [
+            self._spawn_object(rng) for _ in range(cfg.num_objects)
+        ]
+        camera = Camera(model=cfg.camera)
+        return Scene(
+            objects,
+            camera,
+            world_size=cfg.shape,
+            rng=rng,
+            background_drift=cfg.background_drift,
+        )
+
+    def reset(self) -> None:
+        """Rewind to frame 0 (rebuilds the deterministic scene)."""
+        self.scene = self._build_scene()
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------
+    def frames(self, count: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``count`` consecutive ``(frame, label)`` pairs."""
+        cfg = self.config
+        for _ in range(count):
+            if (
+                cfg.shot_length
+                and self._frame_index > 0
+                and self._frame_index % cfg.shot_length == 0
+            ):
+                # Hard scene cut: respawn all objects (street-style churn).
+                rng = self.scene.rng
+                self.scene.objects = [
+                    self._spawn_object(rng) for _ in range(cfg.num_objects)
+                ]
+            frame, label = render_scene(self.scene, cfg.height, cfg.width)
+            yield frame, label
+            self.scene.step()
+            self._frame_index += 1
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield from self.frames(1)

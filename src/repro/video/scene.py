@@ -1,0 +1,137 @@
+"""Scene graph: moving objects and camera models.
+
+Positions are in a continuous world coordinate system measured in
+pixels of the rendered frame; the camera maps world to frame
+coordinates.  All dynamics are deterministic functions of a seeded
+``numpy.random.Generator`` so every video is reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class CameraModel(str, enum.Enum):
+    """The three LVS camera styles (paper section 5.2)."""
+
+    FIXED = "fixed"
+    MOVING = "moving"
+    EGOCENTRIC = "egocentric"
+
+
+@dataclasses.dataclass
+class Camera:
+    """Camera state: world-space offset of the frame's top-left corner.
+
+    * ``FIXED``: offset never changes.
+    * ``MOVING``: smooth pan with a slowly rotating direction.
+    * ``EGOCENTRIC``: pan plus per-frame jitter (head/chest shake).
+    """
+
+    model: CameraModel
+    pan_speed: float = 0.8
+    jitter: float = 1.5
+    _offset: np.ndarray = dataclasses.field(default_factory=lambda: np.zeros(2))
+    _direction: float = 0.0
+
+    def step(self, rng: np.random.Generator) -> None:
+        if self.model is CameraModel.FIXED:
+            return
+        self._direction += rng.normal(0.0, 0.05)
+        velocity = self.pan_speed * np.array(
+            [np.cos(self._direction), np.sin(self._direction)]
+        )
+        self._offset = self._offset + velocity
+        if self.model is CameraModel.EGOCENTRIC:
+            self._offset = self._offset + rng.normal(0.0, self.jitter, size=2)
+
+    @property
+    def offset(self) -> Tuple[float, float]:
+        return float(self._offset[0]), float(self._offset[1])
+
+
+@dataclasses.dataclass
+class SceneObject:
+    """A textured elliptical object of one LVS class.
+
+    Appearance drifts slowly (``texture_drift``) so that the student
+    must periodically re-learn the scene — the mechanism that drives key
+    frames in ShadowTutor.
+    """
+
+    class_id: int
+    center: np.ndarray  # world coords (y, x)
+    velocity: np.ndarray  # pixels / frame
+    radii: Tuple[float, float]  # (ry, rx)
+    texture_phase: float
+    texture_freq: float
+    texture_drift: float
+    brightness: float
+
+    def step(
+        self,
+        rng: np.random.Generator,
+        bounds: Tuple[float, float, float, float],
+        speed_scale: float = 1.0,
+    ) -> None:
+        """Advance one frame: move, bounce inside ``bounds``, drift texture.
+
+        ``bounds`` is ``(lo_y, hi_y, lo_x, hi_x)`` of the region the
+        object's *center* may occupy.  The caller passes the current
+        camera viewport shrunk by the object's radii, so subjects stay
+        fully visible — the synthetic analogue of a camera operator
+        tracking the action.
+        """
+        self.center = self.center + self.velocity * speed_scale
+        lo_y, hi_y, lo_x, hi_x = bounds
+        for axis, lo, hi in ((0, lo_y, hi_y), (1, lo_x, hi_x)):
+            if hi <= lo:  # degenerate viewport: pin to the midpoint
+                self.center[axis] = (lo + hi) / 2
+                continue
+            if self.center[axis] < lo:
+                self.center[axis] = min(2 * lo - self.center[axis], hi)
+                self.velocity[axis] = abs(self.velocity[axis])
+            elif self.center[axis] > hi:
+                self.center[axis] = max(2 * hi - self.center[axis], lo)
+                self.velocity[axis] = -abs(self.velocity[axis])
+        self.velocity = self.velocity + rng.normal(0.0, 0.02, size=2)
+        self.texture_phase += self.texture_drift
+
+
+class Scene:
+    """A collection of moving objects plus a camera, advanced per frame."""
+
+    def __init__(
+        self,
+        objects: List[SceneObject],
+        camera: Camera,
+        world_size: Tuple[int, int],
+        rng: np.random.Generator,
+        speed_scale: float = 1.0,
+        background_drift: float = 0.0,
+    ) -> None:
+        self.objects = objects
+        self.camera = camera
+        self.world_size = world_size
+        self.rng = rng
+        self.speed_scale = speed_scale
+        self.background_drift = background_drift
+        self.background_phase = 0.0
+        self.frame_index = 0
+
+    def step(self) -> None:
+        """Advance the whole scene by one frame of simulated time."""
+        self.camera.step(self.rng)
+        h, w = self.world_size
+        oy, ox = self.camera.offset
+        for obj in self.objects:
+            ry, rx = obj.radii
+            # Keep each object fully inside the camera viewport.
+            bounds = (oy + ry, oy + h - ry, ox + rx, ox + w - rx)
+            obj.step(self.rng, bounds, self.speed_scale)
+        self.background_phase += self.background_drift
+        self.frame_index += 1

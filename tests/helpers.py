@@ -1,0 +1,29 @@
+"""Shared numeric-gradient helpers for the test suite."""
+
+import numpy as np
+
+
+def numeric_gradient(tensor, scalar_fn, eps=1e-2):
+    """Central-difference gradient of ``scalar_fn()`` w.r.t. ``tensor.data``.
+
+    ``scalar_fn`` must recompute the forward pass from ``tensor.data``.
+    float32 arithmetic limits accuracy, hence the relatively large eps.
+    """
+    grad = np.zeros_like(tensor.data)
+    it = np.nditer(tensor.data, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        orig = tensor.data[idx].copy()
+        tensor.data[idx] = orig + eps
+        plus = scalar_fn()
+        tensor.data[idx] = orig - eps
+        minus = scalar_fn()
+        tensor.data[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic, numeric, rtol=2e-2, atol=1e-3):
+    """Compare analytic and numeric gradients with float32 tolerances."""
+    scale = max(np.abs(numeric).max(), 1e-6)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol * scale + atol)

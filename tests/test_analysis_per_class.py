@@ -1,0 +1,82 @@
+"""Tests for per-class confusion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.per_class import StreamConfusion, stream_confusion
+from repro.segmentation.classes import CLASS_INDEX
+
+
+class TestStreamConfusion:
+    def test_perfect_prediction_all_ones(self, rng):
+        acc = StreamConfusion()
+        label = rng.integers(0, 4, size=(8, 8))
+        acc.update(label, label)
+        assert all(v == pytest.approx(1.0) for v in acc.per_class_iou().values())
+
+    def test_accumulates_over_frames(self, rng):
+        acc = StreamConfusion()
+        for _ in range(3):
+            label = rng.integers(0, 3, size=(4, 4))
+            acc.update(label, label)
+        assert acc.matrix.sum() == 3 * 16
+
+    def test_absent_classes_not_reported(self):
+        acc = StreamConfusion()
+        label = np.zeros((4, 4), dtype=np.int64)
+        acc.update(label, label)
+        assert list(acc.per_class_iou()) == ["background"]
+
+    def test_known_iou_value(self):
+        acc = StreamConfusion()
+        label = np.zeros((4, 4), dtype=np.int64)
+        label[:2, :] = CLASS_INDEX["person"]
+        pred = np.zeros((4, 4), dtype=np.int64)
+        pred[0, :] = CLASS_INDEX["person"]
+        acc.update(pred, label)
+        iou = acc.per_class_iou()["person"]
+        assert iou == pytest.approx(4 / 8)
+
+    def test_support_counts_pixels(self):
+        acc = StreamConfusion()
+        label = np.zeros((4, 4), dtype=np.int64)
+        label[0, :2] = CLASS_INDEX["dog"]
+        acc.update(label, label)
+        support = acc.class_support()
+        assert support["dog"] == 2
+        assert support["background"] == 14
+
+    def test_top_confusions_ordering(self):
+        acc = StreamConfusion()
+        label = np.zeros((6, 6), dtype=np.int64)
+        label[:3, :] = CLASS_INDEX["horse"]
+        pred = np.zeros((6, 6), dtype=np.int64)
+        pred[:3, :] = CLASS_INDEX["dog"]  # horse consistently called dog
+        pred[5, 0] = CLASS_INDEX["bird"]  # one stray background error
+        acc.update(pred, label)
+        confusions = acc.top_confusions(2)
+        assert confusions[0][:2] == ("horse", "dog")
+        assert confusions[0][2] == 18
+        assert confusions[1][:2] == ("background", "bird")
+
+    def test_no_confusions_when_perfect(self, rng):
+        acc = StreamConfusion()
+        label = rng.integers(0, 3, size=(6, 6))
+        acc.update(label, label)
+        assert acc.top_confusions() == []
+
+    def test_report_renders(self, rng):
+        acc = StreamConfusion()
+        label = rng.integers(0, 4, size=(8, 8))
+        pred = rng.integers(0, 4, size=(8, 8))
+        acc.update(pred, label)
+        text = acc.report()
+        assert "per-class IoU" in text
+
+    def test_builder_function(self, rng):
+        pairs = []
+        for _ in range(2):
+            label = rng.integers(0, 3, size=(4, 4))
+            pairs.append((label, label))
+        acc = stream_confusion(pairs)
+        assert acc.matrix.sum() == 32

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.category == "fixed-people"
+        assert args.frames == 300
+
+    def test_run_rejects_unknown_category(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--category", "nope"])
+
+    def test_sweep_bandwidth_list(self):
+        args = build_parser().parse_args(
+            ["sweep", "--bandwidths", "8", "80"]
+        )
+        assert args.bandwidths == [8.0, 80.0]
+
+    def test_table_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table"])
+
+    def test_table_name_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "--name", "table99"])
+
+
+class TestCommands:
+    def test_plan_prints_bounds(self, capsys):
+        rc = main(["plan"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "traffic bounds" in out
+        assert "MAX_UPDATES : 8" in out
+
+    def test_plan_custom_bandwidth(self, capsys):
+        rc = main(["plan", "--bandwidth", "8"])
+        assert rc == 0
+        assert "8.0 Mbps" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        rc = main([
+            "run", "--frames", "30", "--width", "0.25", "--pretrain", "5",
+            "--no-baselines",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out
+        assert "mIoU" in out
+
+    def test_run_with_baselines(self, capsys):
+        rc = main([
+            "run", "--frames", "25", "--width", "0.25", "--pretrain", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup over naive" in out
+
+    def test_table4(self, capsys):
+        rc = main(["table", "--name", "table4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "to_server_mb" in out
+
+    def test_sweep_small(self, capsys):
+        rc = main([
+            "sweep", "--video", "softball", "--bandwidths", "8", "80",
+            "--frames", "25", "--width", "0.25", "--pretrain", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput (FPS) vs bandwidth" in out

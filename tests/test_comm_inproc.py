@@ -1,0 +1,94 @@
+"""Tests for the simulated in-process transport."""
+
+import pytest
+
+from repro.comm.inproc import SimulatedChannel
+from repro.network.model import NetworkModel
+from repro.runtime.clock import SimClock
+
+
+@pytest.fixture
+def channel():
+    clock = SimClock()
+    net = NetworkModel(bandwidth_mbps=80.0, base_latency_s=0.0)
+    return SimulatedChannel(clock, net)
+
+
+class TestBlockingOps:
+    def test_send_recv_roundtrip(self, channel):
+        channel.client.send({"hello": 1}, nbytes=10**6)
+        msg = channel.server.recv()
+        assert msg == {"hello": 1}
+
+    def test_recv_advances_clock_to_delivery(self, channel):
+        channel.client.send("x", nbytes=10**6)  # 0.1 s at 80 Mbps
+        channel.server.recv()
+        assert channel.clock.now == pytest.approx(0.1)
+
+    def test_fifo_ordering(self, channel):
+        channel.client.send("first", nbytes=100)
+        channel.client.send("second", nbytes=100)
+        assert channel.server.recv() == "first"
+        assert channel.server.recv() == "second"
+
+    def test_recv_without_send_raises(self, channel):
+        with pytest.raises(RuntimeError):
+            channel.server.recv()
+
+    def test_link_serialises_transfers(self, channel):
+        # Two back-to-back sends share the uplink: the second is delayed.
+        channel.client.send("a", nbytes=10**6)
+        channel.client.send("b", nbytes=10**6)
+        channel.server.recv()
+        assert channel.clock.now == pytest.approx(0.1)
+        channel.server.recv()
+        assert channel.clock.now == pytest.approx(0.2)
+
+    def test_directions_independent(self, channel):
+        channel.client.send("up", nbytes=10**6)
+        channel.server.send("down", nbytes=10**6)
+        assert channel.server.recv() == "up"
+        assert channel.client.recv() == "down"
+
+
+class TestNonBlockingOps:
+    def test_isend_returns_completed_request_after_wait(self, channel):
+        req = channel.client.isend("payload", nbytes=10**6)
+        assert req.wait() == "payload"
+        assert channel.clock.now >= 0.1
+
+    def test_irecv_test_false_until_delivery(self, channel):
+        req = channel.server.irecv()
+        channel.client.isend("data", nbytes=10**6)
+        assert not req.test()  # clock has not advanced yet
+        channel.clock.advance(0.05)
+        assert not req.test()
+        channel.clock.advance(0.06)
+        assert req.test()
+        assert req.payload() == "data"
+
+    def test_irecv_wait_advances_clock(self, channel):
+        channel.client.isend("data", nbytes=10**6)
+        req = channel.server.irecv()
+        assert req.wait() == "data"
+        assert channel.clock.now == pytest.approx(0.1)
+
+    def test_irecv_before_send_resolves_lazily(self, channel):
+        req = channel.server.irecv()
+        assert not req.test()
+        channel.client.isend("late", nbytes=100)
+        assert req.wait() == "late"
+
+    def test_irecv_wait_without_send_raises(self, channel):
+        req = channel.server.irecv()
+        with pytest.raises(RuntimeError):
+            req.wait()
+
+
+class TestAccounting:
+    def test_transfers_recorded(self, channel):
+        channel.client.send("a", nbytes=1000)
+        channel.server.send("b", nbytes=500)
+        assert channel.accountant.total_bytes == 1500
+        up, down = channel.accountant.bytes_by_direction()
+        assert up == 1000 and down == 500

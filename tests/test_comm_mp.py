@@ -1,0 +1,71 @@
+"""Tests for the real multiprocessing transport and a live server loop."""
+
+import numpy as np
+import pytest
+
+from repro.comm.mp import PipeTransport, run_in_subprocess, spawn_pipe_pair
+
+
+class TestPipeTransport:
+    def test_roundtrip_in_process(self):
+        a, b = spawn_pipe_pair()
+        a.send({"x": np.arange(3)}, nbytes=24)
+        msg = b.recv()
+        np.testing.assert_array_equal(msg["x"], np.arange(3))
+        a.close(), b.close()
+
+    def test_isend_completes_immediately(self):
+        a, b = spawn_pipe_pair()
+        req = a.isend("data", nbytes=4)
+        assert req.test()
+        assert b.recv() == "data"
+        a.close(), b.close()
+
+    def test_irecv_polls(self):
+        a, b = spawn_pipe_pair()
+        req = b.irecv()
+        assert not req.test()
+        a.send("late", nbytes=4)
+        assert req.wait() == "late"
+        a.close(), b.close()
+
+    def test_irecv_payload_after_completion(self):
+        a, b = spawn_pipe_pair()
+        a.send(42, nbytes=4)
+        req = b.irecv()
+        req.wait()
+        assert req.payload() == 42
+        a.close(), b.close()
+
+
+def _echo_server(endpoint):
+    """Child process: echoes messages until None arrives."""
+    while True:
+        msg = endpoint.recv()
+        if msg is None:
+            break
+        endpoint.send(("echo", msg), nbytes=64)
+
+
+class TestSubprocess:
+    def test_echo_across_process_boundary(self):
+        endpoint, proc = run_in_subprocess(_echo_server)
+        try:
+            endpoint.send({"frame": 7}, nbytes=64)
+            reply = endpoint.recv()
+            assert reply == ("echo", {"frame": 7})
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=10)
+            assert proc.exitcode == 0
+
+    def test_numpy_payloads_cross_processes(self):
+        endpoint, proc = run_in_subprocess(_echo_server)
+        try:
+            arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+            endpoint.send(arr, nbytes=arr.nbytes)
+            _, echoed = endpoint.recv()
+            np.testing.assert_array_equal(echoed, arr)
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=10)

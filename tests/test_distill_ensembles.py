@@ -1,0 +1,141 @@
+"""Tests for the section-7 teacher extensions: ensemble distillation and
+data distillation."""
+
+import numpy as np
+import pytest
+
+from repro.distill.ensembles import (
+    DataDistillationTeacher,
+    EnsembleTeacher,
+    HorizontalFlip,
+    IdentityTransform,
+    Shift,
+    _majority_vote,
+)
+from repro.models.teacher import OracleTeacher
+
+
+class ConstantTeacher:
+    """Teacher that predicts a fixed class everywhere."""
+
+    def __init__(self, class_id: int) -> None:
+        self.class_id = class_id
+
+    def infer(self, frame, label=None):
+        return np.full(frame.shape[-2:], self.class_id, dtype=np.int64)
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        preds = [np.ones((4, 4), dtype=np.int64)] * 3
+        np.testing.assert_array_equal(_majority_vote(preds, 3), preds[0])
+
+    def test_majority_wins(self):
+        a = np.zeros((2, 2), dtype=np.int64)
+        b = np.ones((2, 2), dtype=np.int64)
+        out = _majority_vote([b, b, a], 2)
+        np.testing.assert_array_equal(out, b)
+
+    def test_per_pixel_independence(self):
+        a = np.array([[0, 1]], dtype=np.int64)
+        b = np.array([[0, 0]], dtype=np.int64)
+        c = np.array([[1, 1]], dtype=np.int64)
+        out = _majority_vote([a, b, c], 2)
+        np.testing.assert_array_equal(out, [[0, 1]])
+
+
+class TestEnsembleTeacher:
+    def test_single_teacher_passthrough(self, rng):
+        label = rng.integers(0, 3, size=(6, 6))
+        ensemble = EnsembleTeacher([OracleTeacher()])
+        out = ensemble.infer(np.zeros((3, 6, 6)), label)
+        np.testing.assert_array_equal(out, label)
+
+    def test_majority_overrides_outlier(self):
+        ensemble = EnsembleTeacher(
+            [ConstantTeacher(2), ConstantTeacher(2), ConstantTeacher(5)]
+        )
+        out = ensemble.infer(np.zeros((3, 4, 4)))
+        np.testing.assert_array_equal(out, np.full((4, 4), 2))
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleTeacher([])
+
+
+class TestTransforms:
+    def test_identity_roundtrip(self, rng):
+        t = IdentityTransform()
+        frame = rng.normal(size=(3, 4, 4))
+        np.testing.assert_array_equal(t.apply(frame), frame)
+
+    def test_flip_involution(self, rng):
+        t = HorizontalFlip()
+        label = rng.integers(0, 4, size=(5, 6))
+        np.testing.assert_array_equal(t.invert_label(t.apply_label(label)), label)
+
+    def test_flip_applies_to_last_axis(self):
+        frame = np.arange(6, dtype=np.float32).reshape(1, 2, 3)
+        flipped = HorizontalFlip().apply(frame)
+        np.testing.assert_allclose(flipped[0, 0], [2, 1, 0])
+
+    @pytest.mark.parametrize("dy,dx", [(1, 0), (0, 1), (-1, 0), (0, -2)])
+    def test_shift_inverse_matches_interior(self, rng, dy, dx):
+        t = Shift(dy, dx)
+        label = rng.integers(1, 4, size=(8, 8))
+        back = t.invert_label(t.apply_label(label))
+        # Interior pixels survive the round trip (edges are zero-padded).
+        assert (back[2:-2, 2:-2] == label[2:-2, 2:-2]).all()
+
+    def test_shift_pads_with_background(self):
+        label = np.ones((4, 4), dtype=np.int64)
+        shifted = Shift(1, 0).apply_label(label)
+        assert (shifted[0, :] == 0).all()
+
+
+class TestDataDistillation:
+    def test_oracle_consensus_is_exact_in_interior(self, rng):
+        # With an exact oracle, every transformed view votes for the
+        # true label, so the merged pseudo-label matches it (away from
+        # shift padding).
+        label = np.zeros((12, 12), dtype=np.int64)
+        label[4:8, 4:8] = 3
+        teacher = DataDistillationTeacher(OracleTeacher())
+        out = teacher.infer(np.zeros((3, 12, 12)), label)
+        np.testing.assert_array_equal(out[2:-2, 2:-2], label[2:-2, 2:-2])
+
+    def test_noisy_oracle_merged_stays_close_to_truth(self, rng):
+        # A noisy oracle flips boundary pixels independently per view;
+        # the merged pseudo-label must remain a close match to the
+        # clean label (boundary noise affects only a thin band).
+        from repro.segmentation.metrics import mean_iou
+
+        label = np.zeros((16, 16), dtype=np.int64)
+        label[5:11, 5:11] = 2
+        noisy = OracleTeacher(boundary_noise=0.5, seed=0)
+        merged = DataDistillationTeacher(noisy).infer(
+            np.zeros((3, 16, 16)), label
+        )
+        assert mean_iou(merged, label) > 0.6
+        # Interior pixels are never corrupted by boundary noise.
+        np.testing.assert_array_equal(merged[7:9, 7:9], label[7:9, 7:9])
+
+    def test_requires_transforms(self):
+        with pytest.raises(ValueError):
+            DataDistillationTeacher(OracleTeacher(), transforms=[])
+
+    def test_works_in_server(self, rng):
+        from repro.distill.config import DistillConfig
+        from repro.models.student import StudentNet
+        from repro.runtime.server import Server
+        from repro.video.generator import SyntheticVideo, VideoConfig
+
+        video = SyntheticVideo(VideoConfig(seed=3, height=32, width=48,
+                                           num_objects=2, class_pool=(1,)))
+        frame, label = next(iter(video.frames(1)))
+        server = Server(
+            StudentNet(width=0.25), DataDistillationTeacher(OracleTeacher()),
+            DistillConfig(max_updates=2),
+        )
+        reply, _ = server.handle_key_frame(frame, label)
+        assert reply.update

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness (tiny scale for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentScale, PAPER_REFERENCE, default_scale
+from repro.experiments.figures import figure4_bandwidth_sweep
+from repro.experiments.report import format_table, render_experiments_md
+from repro.experiments.tables import (
+    TableResult,
+    table4_data_per_keyframe,
+)
+
+TINY = ExperimentScale(num_frames=40, student_width=0.25, pretrain_steps=5,
+                       frame_height=32, frame_width=48)
+
+
+class TestConfigs:
+    def test_default_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRAMES", "123")
+        monkeypatch.setenv("REPRO_WIDTH", "0.75")
+        scale = default_scale()
+        assert scale.num_frames == 123
+        assert scale.student_width == 0.75
+
+    def test_paper_reference_complete(self):
+        for table in ("table2", "table3", "table4", "table5", "table6",
+                      "table7", "figure4", "bounds"):
+            assert table in PAPER_REFERENCE
+
+    def test_paper_reference_seven_categories(self):
+        for table in ("table3", "table5", "table6", "table7"):
+            rows = PAPER_REFERENCE[table]
+            assert len([k for k in rows if k != "average"]) == 7
+
+
+class TestTable4:
+    def test_matches_paper_exactly(self):
+        # Table 4 is configuration, not simulation: it must match.
+        result = table4_data_per_keyframe()
+        assert result.rows["partial"]["to_client_mb"] == pytest.approx(0.395, abs=1e-3)
+        assert result.rows["full"]["to_client_mb"] == pytest.approx(1.846, abs=1e-3)
+        assert result.rows["naive"]["to_client_mb"] == pytest.approx(0.879, abs=1e-3)
+        assert result.rows["partial"]["total_mb"] == pytest.approx(3.032, abs=2e-3)
+
+    def test_partial_lightest_roundtrip(self):
+        rows = table4_data_per_keyframe().rows
+        assert rows["partial"]["total_mb"] < rows["naive"]["total_mb"]
+        assert rows["naive"]["total_mb"] < rows["full"]["total_mb"]
+
+
+class TestFigure4Tiny:
+    def test_sweep_structure(self):
+        result = figure4_bandwidth_sweep(
+            scale=TINY, bandwidths=[8, 80], videos=["softball"]
+        )
+        assert result.bandwidths_mbps == [8.0, 80.0]
+        assert set(result.series) == {"softball", "naive"}
+        assert len(result.series["softball"]) == 2
+        assert len(result.bounds) == 2
+
+    def test_naive_monotone_in_bandwidth(self):
+        result = figure4_bandwidth_sweep(
+            scale=TINY, bandwidths=[8, 80], videos=["softball"]
+        )
+        assert result.series["naive"][1] > result.series["naive"][0]
+
+    def test_shadowtutor_beats_naive_at_all_bandwidths(self):
+        result = figure4_bandwidth_sweep(
+            scale=TINY, bandwidths=[8, 80], videos=["softball"]
+        )
+        for st, nv in zip(result.series["softball"], result.series["naive"]):
+            assert st > nv
+
+
+class TestTableResult:
+    def test_averages(self):
+        result = TableResult(
+            name="t", paper={},
+            rows={"a": {"x": 1.0, "y": 2.0}, "b": {"x": 3.0, "y": 4.0}},
+        )
+        assert result.averages() == {"x": 2.0, "y": 3.0}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table("Title", {"row1": {"colA": 1.234, "colB": 5.0}})
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "colA" in lines[1] and "colB" in lines[1]
+        assert "1.23" in text and "5.00" in text
+
+    def test_format_empty(self):
+        assert "(empty)" in format_table("T", {})
+
+    def test_render_md(self):
+        out = render_experiments_md(["a", "b"])
+        assert out == "a\n\nb\n"

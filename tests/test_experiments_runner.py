@@ -1,0 +1,67 @@
+"""Tests for the shared run executor and its cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import cache_size, category_run, clear_cache
+from repro.video.dataset import LVS_CATEGORIES
+
+TINY = ExperimentScale(num_frames=25, student_width=0.25, pretrain_steps=5,
+                       frame_height=32, frame_width=48)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCategoryRun:
+    def test_all_schemes_run(self):
+        spec = LVS_CATEGORIES[1]
+        for scheme in ("partial", "full", "naive", "wild"):
+            stats = category_run(spec, TINY, scheme)
+            assert stats.num_frames == TINY.num_frames
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            category_run(LVS_CATEGORIES[0], TINY, "magic")
+
+    def test_cache_hit_returns_same_object(self):
+        spec = LVS_CATEGORIES[1]
+        a = category_run(spec, TINY, "partial")
+        b = category_run(spec, TINY, "partial")
+        assert a is b
+        assert cache_size() == 1
+
+    def test_cache_key_includes_options(self):
+        spec = LVS_CATEGORIES[1]
+        category_run(spec, TINY, "partial")
+        category_run(spec, TINY, "partial", forced_delay=1)
+        category_run(spec, TINY, "partial", bandwidth_mbps=8.0)
+        category_run(spec, TINY, "partial", fps=7.0)
+        assert cache_size() == 4
+
+    def test_forced_delay_changes_run(self):
+        spec = LVS_CATEGORIES[1]
+        free = category_run(spec, TINY, "partial")
+        pinned = category_run(spec, TINY, "partial", forced_delay=8)
+        # Different update timing: key-frame schedule may differ, and
+        # the runs must be distinct objects.
+        assert free is not pinned
+
+    def test_bandwidth_affects_naive(self):
+        spec = LVS_CATEGORIES[1]
+        fast = category_run(spec, TINY, "naive", bandwidth_mbps=80.0)
+        slow = category_run(spec, TINY, "naive", bandwidth_mbps=8.0)
+        assert slow.throughput_fps < fast.throughput_fps
+
+    def test_fps_resampling_applied(self):
+        spec = LVS_CATEGORIES[0]
+        native = category_run(spec, TINY, "wild")
+        low = category_run(spec, TINY, "wild", fps=7.0)
+        # Same frame count; different streams (faster dynamics).
+        assert native.num_frames == low.num_frames
+        assert native.mean_miou != pytest.approx(low.mean_miou)

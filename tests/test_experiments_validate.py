@@ -1,0 +1,127 @@
+"""Tests for the shape-criteria validator."""
+
+import pytest
+
+from repro.experiments.tables import TableResult
+from repro.experiments.validate import (
+    Criterion,
+    render_report,
+    validate_table2,
+    validate_table3,
+    validate_table4,
+    validate_table5,
+    validate_table6,
+)
+
+
+def table2(partial_steps=3.8, full_steps=4.4):
+    return TableResult(
+        name="table2", paper={},
+        rows={
+            "partial": {"step_latency_ms": 13.0, "mean_steps": partial_steps},
+            "full": {"step_latency_ms": 18.0, "mean_steps": full_steps},
+        },
+    )
+
+
+def table3(partial=6.5, full=6.0, naive=2.1):
+    rows = {
+        key: {"partial_fps": partial, "full_fps": full, "naive_fps": naive}
+        for key in ("fixed-people", "fixed-animals")
+    }
+    return TableResult(name="table3", paper={}, rows=rows)
+
+
+def table4(p=3.032, f=4.483, n=3.516):
+    return TableResult(
+        name="table4", paper={},
+        rows={
+            "partial": {"total_mb": p},
+            "full": {"total_mb": f},
+            "naive": {"total_mb": n},
+        },
+    )
+
+
+class TestTable2Criteria:
+    def test_paper_shape_passes(self):
+        assert all(c.passed for c in validate_table2(table2()))
+
+    def test_inverted_steps_fails(self):
+        checks = validate_table2(table2(partial_steps=6.0, full_steps=4.0))
+        assert not all(c.passed for c in checks)
+
+
+class TestTable3Criteria:
+    def test_paper_shape_passes(self):
+        assert all(c.passed for c in validate_table3(table3()))
+
+    def test_weak_speedup_fails(self):
+        checks = validate_table3(table3(partial=4.0, naive=2.0))
+        names = {c.name: c.passed for c in checks}
+        assert not names["ShadowTutor > 3x naive"]
+
+    def test_full_faster_than_partial_fails(self):
+        checks = validate_table3(table3(partial=5.0, full=6.0))
+        names = {c.name: c.passed for c in checks}
+        assert not names["partial >= full throughput"]
+
+
+class TestTable4Criteria:
+    def test_paper_values_pass(self):
+        assert all(c.passed for c in validate_table4(table4()))
+
+    def test_wrong_ordering_fails(self):
+        checks = validate_table4(table4(p=5.0))
+        assert not all(c.passed for c in checks)
+
+
+class TestTable56Criteria:
+    def _t5(self):
+        rows = {
+            "fixed-people": {"partial_kf_pct": 2.0, "partial_traffic_mbps": 3.0,
+                             "naive_traffic_mbps": 58.0},
+            "fixed-animals": {"partial_kf_pct": 5.0, "partial_traffic_mbps": 7.0,
+                              "naive_traffic_mbps": 58.0},
+            "fixed-street": {"partial_kf_pct": 9.0, "partial_traffic_mbps": 14.0,
+                             "naive_traffic_mbps": 58.0},
+            "moving-people": {"partial_kf_pct": 3.0, "partial_traffic_mbps": 5.0,
+                              "naive_traffic_mbps": 58.0},
+            "moving-street": {"partial_kf_pct": 11.0, "partial_traffic_mbps": 17.0,
+                              "naive_traffic_mbps": 58.0},
+        }
+        return TableResult(name="table5", paper={}, rows=rows)
+
+    def test_table5_paper_shape_passes(self):
+        assert all(c.passed for c in validate_table5(self._t5()))
+
+    def test_table5_relaxed_mode_drops_strict_checks(self):
+        strict = validate_table5(self._t5(), strict=True)
+        relaxed = validate_table5(self._t5(), strict=False)
+        assert len(relaxed) < len(strict)
+
+    def _t6(self, wild=17.0, p1=72.0, p8=71.0, f1=69.0):
+        rows = {
+            "fixed-people": {
+                "wild_miou_pct": wild, "p1_miou_pct": p1, "p8_miou_pct": p8,
+                "f1_miou_pct": f1, "naive_miou_pct": 100.0,
+            }
+        }
+        return TableResult(name="table6", paper={}, rows=rows)
+
+    def test_table6_paper_shape_passes(self):
+        assert all(c.passed for c in validate_table6(self._t6()))
+
+    def test_table6_catches_useless_distillation(self):
+        checks = validate_table6(self._t6(p1=30.0, p8=29.0))
+        assert not all(c.passed for c in checks)
+
+
+class TestReport:
+    def test_report_counts(self):
+        report = render_report({
+            "t2": [Criterion("a", True), Criterion("b", False, "why")],
+        })
+        assert "[PASS] a" in report
+        assert "[FAIL] b  (why)" in report
+        assert "1/2 passed" in report

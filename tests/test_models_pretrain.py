@@ -1,0 +1,72 @@
+"""Tests for the pre-training recipes ("public education")."""
+
+import numpy as np
+import pytest
+
+from repro.models.pretrain import PretrainResult, generic_corpus, pretrain_student
+from repro.models.student import StudentNet
+from repro.models.teacher import TeacherNet
+
+
+class TestGenericCorpus:
+    def test_yields_frame_label_pairs(self):
+        corpus = generic_corpus(height=32, width=48, seed=1)
+        frame, label = next(corpus)
+        assert frame.shape == (3, 32, 48)
+        assert label.shape == (32, 48)
+
+    def test_deterministic_given_seed(self):
+        a = generic_corpus(height=32, width=48, seed=7)
+        b = generic_corpus(height=32, width=48, seed=7)
+        for _ in range(6):
+            fa, la = next(a)
+            fb, lb = next(b)
+            np.testing.assert_array_equal(fa, fb)
+            np.testing.assert_array_equal(la, lb)
+
+    def test_covers_multiple_classes(self):
+        corpus = generic_corpus(height=32, width=48, seed=2)
+        seen = set()
+        for _ in range(40):
+            _, label = next(corpus)
+            seen |= set(np.unique(label))
+        assert len(seen) >= 4  # background + several object classes
+
+    def test_scene_changes_between_bursts(self):
+        corpus = generic_corpus(height=32, width=48, seed=3)
+        frames = [next(corpus)[0] for _ in range(8)]
+        # Within a 4-frame burst: coherent; across bursts: scene cut.
+        within = np.abs(frames[1] - frames[0]).mean()
+        across = np.abs(frames[4] - frames[3]).mean()
+        assert across > within
+
+
+class TestPretrainStudent:
+    def test_loss_decreases(self):
+        student = StudentNet(width=0.25, seed=0)
+        result = pretrain_student(student, steps=30, height=32, width=48)
+        assert isinstance(result, PretrainResult)
+        assert result.steps == 30
+        first = np.mean(result.loss_history[:5])
+        last = np.mean(result.loss_history[-5:])
+        assert last < first
+
+    def test_reports_final_miou(self):
+        student = StudentNet(width=0.25, seed=0)
+        result = pretrain_student(student, steps=10, height=32, width=48)
+        assert 0.0 <= result.final_miou <= 1.0
+
+    def test_zero_steps_no_training(self):
+        student = StudentNet(width=0.25, seed=0)
+        before = {k: v.copy() for k, v in student.state_dict().items()}
+        result = pretrain_student(student, steps=0, height=32, width=48)
+        assert np.isnan(result.final_loss)
+        after = student.state_dict()
+        for k in before:
+            if "running" not in k:  # eval of mIoU does not touch weights
+                np.testing.assert_array_equal(before[k], after[k])
+
+    def test_works_on_teacher_too(self):
+        teacher = TeacherNet(width=8, seed=0)
+        result = pretrain_student(teacher, steps=5, height=32, width=48)
+        assert result.steps == 5

@@ -1,0 +1,79 @@
+"""Tests for .npz checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.models.student import StudentNet
+from repro.nn.checkpoint import load_checkpoint, peek_metadata, save_checkpoint
+
+
+class TestCheckpointRoundtrip:
+    def test_roundtrip_restores_weights(self, tmp_path, rng):
+        a = StudentNet(width=0.25, seed=1)
+        for p in a.parameters():
+            p.data += rng.normal(0, 0.1, size=p.data.shape).astype(np.float32)
+        path = tmp_path / "student.npz"
+        save_checkpoint(a, path)
+
+        b = StudentNet(width=0.25, seed=2)  # different init
+        load_checkpoint(b, path)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        a = StudentNet(width=0.25, seed=1)
+        a.sb1.bn.set_buffer("running_mean", np.full_like(a.sb1.bn.running_mean, 3.0))
+        path = tmp_path / "s.npz"
+        save_checkpoint(a, path)
+        b = StudentNet(width=0.25, seed=1)
+        load_checkpoint(b, path)
+        np.testing.assert_allclose(b.sb1.bn.running_mean, 3.0)
+
+    def test_predictions_identical_after_load(self, tmp_path, rng):
+        a = StudentNet(width=0.25, seed=1)
+        path = tmp_path / "s.npz"
+        save_checkpoint(a, path)
+        b = StudentNet(width=0.25, seed=9)
+        load_checkpoint(b, path)
+        frame = rng.normal(size=(3, 16, 16)).astype(np.float32)
+        a.eval(), b.eval()
+        np.testing.assert_array_equal(a.predict(frame), b.predict(frame))
+
+
+class TestMetadata:
+    def test_metadata_roundtrip(self, tmp_path):
+        student = StudentNet(width=0.25)
+        path = tmp_path / "s.npz"
+        save_checkpoint(student, path, metadata={"steps": 80, "corpus": "generic"})
+        meta = peek_metadata(path)
+        assert meta["steps"] == 80
+        assert meta["corpus"] == "generic"
+
+    def test_default_metadata_has_param_count(self, tmp_path):
+        student = StudentNet(width=0.25)
+        path = tmp_path / "s.npz"
+        save_checkpoint(student, path)
+        assert peek_metadata(path)["num_parameters"] == student.num_parameters()
+
+    def test_load_returns_metadata(self, tmp_path):
+        student = StudentNet(width=0.25)
+        path = tmp_path / "s.npz"
+        save_checkpoint(student, path, metadata={"tag": "v1"})
+        meta = load_checkpoint(StudentNet(width=0.25), path)
+        assert meta["tag"] == "v1"
+
+
+class TestValidation:
+    def test_width_mismatch_raises(self, tmp_path):
+        save_checkpoint(StudentNet(width=0.25), tmp_path / "s.npz")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(StudentNet(width=0.5), tmp_path / "s.npz")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(StudentNet(width=0.25), tmp_path / "nope.npz")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "s.npz"
+        save_checkpoint(StudentNet(width=0.25), path)
+        assert path.exists()

@@ -1,0 +1,178 @@
+"""Tests for Linear, Dropout, MaxPool2d and GroupNorm2d."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.extras import Dropout, GroupNorm2d, Linear, MaxPool2d
+
+from tests.helpers import assert_grad_close, numeric_gradient
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_gradients(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        (layer(x) ** 2).sum().backward()
+
+        def f():
+            return float((layer(Tensor(x.data)).data ** 2).sum())
+
+        assert_grad_close(x.grad, numeric_gradient(x, f))
+
+    def test_trains_to_fit_line(self, rng):
+        from repro.nn.optim import Adam
+
+        layer = Linear(1, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.1)
+        xs = rng.normal(size=(32, 1)).astype(np.float32)
+        ys = 3.0 * xs + 1.0
+        for _ in range(200):
+            opt.zero_grad()
+            loss = ((layer(Tensor(xs)) - Tensor(ys)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert layer.weight.data[0, 0] == pytest.approx(3.0, abs=0.1)
+        assert layer.bias.data[0] == pytest.approx(1.0, abs=0.1)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(rng.normal(size=(100,)))
+        assert layer(x) is x
+
+    def test_p_zero_is_identity(self, rng):
+        layer = Dropout(0.0)
+        x = Tensor(rng.normal(size=(10,)))
+        assert layer(x) is x
+
+    def test_train_zeroes_fraction(self):
+        layer = Dropout(0.5, seed=0)
+        x = Tensor(np.ones(10_000, dtype=np.float32))
+        out = layer(x)
+        dropped = (out.data == 0).mean()
+        assert dropped == pytest.approx(0.5, abs=0.03)
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.3, seed=1)
+        x = Tensor(np.ones(100_000, dtype=np.float32))
+        out = layer(x)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_gradient_masked(self):
+        layer = Dropout(0.5, seed=2)
+        x = Tensor(np.ones(1000, dtype=np.float32), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # Gradient is zero exactly where activations were dropped.
+        np.testing.assert_array_equal(x.grad == 0, out.data == 0)
+
+
+class TestMaxPool2d:
+    def test_forward_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_max(self):
+        data = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        data[0, 0, 1, 1] = 5.0
+        x = Tensor(data, requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 1, 1] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_ties_split_gradient(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 0.25))
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(2)(Tensor(rng.normal(size=(1, 1, 5, 4))))
+
+    def test_numeric_gradient(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        (MaxPool2d(2)(x) ** 2).sum().backward()
+
+        def f():
+            return float((MaxPool2d(2)(Tensor(x.data)).data ** 2).sum())
+
+        assert_grad_close(x.grad, numeric_gradient(x, f))
+
+
+class TestGroupNorm:
+    def test_normalises_within_groups(self, rng):
+        gn = GroupNorm2d(2, 4)
+        x = Tensor(rng.normal(3.0, 2.0, size=(2, 4, 5, 5)))
+        out = gn(x)
+        grouped = out.data.reshape(2, 2, 2, 5, 5)
+        np.testing.assert_allclose(
+            grouped.mean(axis=(2, 3, 4)), np.zeros((2, 2)), atol=1e-4
+        )
+        np.testing.assert_allclose(
+            grouped.std(axis=(2, 3, 4)), np.ones((2, 2)), atol=1e-3
+        )
+
+    def test_batch_independence(self, rng):
+        # Unlike BN, each sample normalises independently: the output
+        # for sample 0 must not change when sample 1 changes.
+        gn = GroupNorm2d(2, 4)
+        a = rng.normal(size=(2, 4, 3, 3)).astype(np.float32)
+        b = a.copy()
+        b[1] += 100.0
+        out_a = gn(Tensor(a)).data[0]
+        out_b = gn(Tensor(b)).data[0]
+        np.testing.assert_allclose(out_a, out_b, atol=1e-5)
+
+    def test_group_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            GroupNorm2d(3, 4)
+
+    def test_channel_mismatch_rejected(self, rng):
+        gn = GroupNorm2d(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(rng.normal(size=(1, 6, 3, 3))))
+
+    def test_numeric_gradient(self, rng):
+        gn = GroupNorm2d(2, 4)
+        x = Tensor(rng.normal(size=(1, 4, 3, 3)), requires_grad=True)
+        (gn(x) ** 2).sum().backward()
+
+        def f():
+            return float((gn(Tensor(x.data)).data ** 2).sum())
+
+        assert_grad_close(x.grad, numeric_gradient(x, f, eps=5e-3), rtol=5e-2)
+
+    def test_affine_grads(self, rng):
+        gn = GroupNorm2d(2, 4)
+        x = Tensor(rng.normal(size=(2, 4, 3, 3)), requires_grad=True)
+        gn(x).sum().backward()
+        assert gn.weight.grad is not None
+        np.testing.assert_allclose(gn.bias.grad, np.full(4, 2 * 9), rtol=1e-5)

@@ -1,0 +1,147 @@
+"""Tests for Conv2d, BatchNorm2d and container layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Identity,
+    ReLU,
+    Sequential,
+    Upsample2x,
+)
+
+from tests.helpers import assert_grad_close, numeric_gradient
+
+
+class TestConv2dLayer:
+    def test_same_padding_preserves_size(self, rng):
+        layer = Conv2d(3, 5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, 5, 8, 8)
+
+    def test_asymmetric_kernels(self, rng):
+        for k in [(3, 1), (1, 3)]:
+            layer = Conv2d(2, 2, k, rng=rng)
+            out = layer(Tensor(rng.normal(size=(1, 2, 6, 6))))
+            assert out.shape == (1, 2, 6, 6)
+
+    def test_stride_halves_resolution(self, rng):
+        layer = Conv2d(2, 4, 3, stride=2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 2, 8, 8))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_no_bias_option(self, rng):
+        layer = Conv2d(2, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_weight_init_scale(self, rng):
+        # He init std = sqrt(2 / fan_in); check within loose bounds.
+        layer = Conv2d(16, 64, 3, rng=rng)
+        std = layer.weight.data.std()
+        expected = np.sqrt(2.0 / (16 * 9))
+        assert 0.7 * expected < std < 1.3 * expected
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self, rng):
+        bn = BatchNorm2d(4)
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 4, 5, 5)))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(std, np.ones(4), atol=1e-3)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((2, 2, 3, 3), 4.0, dtype=np.float32))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, [2.0, 2.0])
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.set_buffer("running_mean", np.array([1.0, 1.0]))
+        bn.set_buffer("running_var", np.array([4.0, 4.0]))
+        bn.eval()
+        x = Tensor(np.full((1, 2, 2, 2), 3.0, dtype=np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data, (3.0 - 1.0) / 2.0, rtol=1e-4)
+
+    def test_eval_does_not_update_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(rng.normal(size=(1, 2, 3, 3))))
+        np.testing.assert_allclose(bn.running_mean, before)
+
+    def test_channel_mismatch_raises(self, rng):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.normal(size=(1, 2, 3, 3))))
+
+    def test_train_backward_matches_numeric(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+
+        def f():
+            bn2 = BatchNorm2d(2)
+            bn2.weight.data = bn.weight.data
+            bn2.bias.data = bn.bias.data
+            return float((bn2(Tensor(x.data)).data ** 2).sum())
+
+        assert_grad_close(x.grad, numeric_gradient(x, f, eps=5e-3), rtol=5e-2)
+
+    def test_affine_params_get_grads(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        bn(x).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+        # d(sum)/d(bias) = number of pixels per channel
+        np.testing.assert_allclose(bn.bias.grad, np.full(3, 2 * 16), rtol=1e-5)
+
+    def test_frozen_bn_still_backprops_to_input(self, rng):
+        bn = BatchNorm2d(2)
+        bn.freeze()
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is None
+
+
+class TestContainers:
+    def test_sequential_order(self, rng):
+        net = Sequential(Conv2d(2, 3, 3, rng=rng), ReLU(), Conv2d(3, 1, 1, rng=rng))
+        out = net(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_sequential_len_getitem(self, rng):
+        net = Sequential(ReLU(), Identity())
+        assert len(net) == 2
+        assert isinstance(net[0], ReLU)
+
+    def test_sequential_registers_children(self, rng):
+        net = Sequential(Conv2d(1, 1, 1, rng=rng), Conv2d(1, 1, 1, rng=rng))
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_identity_passthrough(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert Identity()(x) is x
+
+    def test_avg_pool_module(self, rng):
+        out = AvgPool2d(2)(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_upsample_module(self, rng):
+        out = Upsample2x()(Tensor(rng.normal(size=(1, 2, 3, 3))))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])

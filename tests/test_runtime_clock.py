@@ -1,0 +1,51 @@
+"""Tests for the simulated clock and the component latency model."""
+
+import pytest
+
+from repro.runtime.clock import LatencyModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0
+
+
+class TestLatencyModel:
+    def test_paper_defaults(self):
+        lat = LatencyModel()
+        assert lat.t_si == pytest.approx(0.143)
+        assert lat.t_sd_partial == pytest.approx(0.013)
+        assert lat.t_sd_full == pytest.approx(0.018)
+        assert lat.t_ti == pytest.approx(0.044)
+
+    def test_t_sd_selector(self):
+        lat = LatencyModel()
+        assert lat.t_sd(True) == lat.t_sd_partial
+        assert lat.t_sd(False) == lat.t_sd_full
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(t_si=-0.1)

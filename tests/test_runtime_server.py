@@ -1,0 +1,112 @@
+"""Tests for the server (Algorithm 3): teacher inference, training,
+update payloads, and the live serve loop over the pipe transport."""
+
+import numpy as np
+import pytest
+
+from repro.comm.mp import run_in_subprocess
+from repro.distill.config import DistillConfig, DistillMode
+from repro.models.student import StudentNet
+from repro.models.teacher import OracleTeacher, TeacherNet
+from repro.nn.serialize import apply_state_dict
+from repro.runtime.server import Server
+from repro.video.generator import SyntheticVideo, VideoConfig
+
+
+def key_frame(seed=0):
+    video = SyntheticVideo(VideoConfig(seed=seed, height=32, width=48,
+                                       num_objects=2, class_pool=(1,)))
+    return next(iter(video.frames(1)))
+
+
+class TestHandleKeyFrame:
+    def test_reply_contains_update_and_metric(self):
+        server = Server(StudentNet(width=0.25), OracleTeacher(),
+                        DistillConfig(max_updates=2))
+        frame, label = key_frame()
+        reply, result = server.handle_key_frame(frame, label)
+        assert 0.0 <= reply.metric <= 1.0
+        assert reply.metric == result.metric
+        assert reply.steps == result.steps
+        assert isinstance(reply.update, dict) and reply.update
+
+    def test_partial_update_excludes_front(self):
+        server = Server(StudentNet(width=0.25), OracleTeacher(),
+                        DistillConfig(mode=DistillMode.PARTIAL, max_updates=1))
+        frame, label = key_frame()
+        reply, _ = server.handle_key_frame(frame, label)
+        assert not any(k.startswith(("in1", "in2", "sb1.", "sb4.")) for k in reply.update)
+
+    def test_full_update_includes_front(self):
+        server = Server(StudentNet(width=0.25), OracleTeacher(),
+                        DistillConfig(mode=DistillMode.FULL, max_updates=1))
+        frame, label = key_frame()
+        reply, _ = server.handle_key_frame(frame, label)
+        assert any(k.startswith("in1") for k in reply.update)
+
+    def test_reply_bytes_paper_scale(self):
+        partial = Server(StudentNet(width=0.25), OracleTeacher(),
+                         DistillConfig(mode=DistillMode.PARTIAL))
+        full = Server(StudentNet(width=0.25), OracleTeacher(),
+                      DistillConfig(mode=DistillMode.FULL))
+        assert partial.reply_bytes() == partial.sizes.student_diff_partial
+        assert full.reply_bytes() == full.sizes.student_full
+        assert partial.reply_bytes() < full.reply_bytes()
+
+    def test_update_applies_cleanly_to_peer(self):
+        server = Server(StudentNet(width=0.25, seed=4), OracleTeacher(),
+                        DistillConfig(max_updates=2))
+        client_student = StudentNet(width=0.25, seed=4)
+        frame, label = key_frame()
+        reply, _ = server.handle_key_frame(frame, label)
+        apply_state_dict(client_student, reply.update)
+        server.student.eval(), client_student.eval()
+        np.testing.assert_array_equal(
+            client_student.predict(frame), server.student.predict(frame)
+        )
+
+    def test_neural_teacher_supported(self):
+        server = Server(StudentNet(width=0.25), TeacherNet(width=8),
+                        DistillConfig(max_updates=1))
+        frame, label = key_frame()
+        reply, _ = server.handle_key_frame(frame)  # no label needed
+        assert reply.update
+
+    def test_metric_improves_over_key_frames(self):
+        server = Server(StudentNet(width=0.25, seed=2), OracleTeacher(),
+                        DistillConfig(max_updates=8, threshold=0.9))
+        frame, label = key_frame()
+        first = server.handle_key_frame(frame, label)[0].metric
+        for _ in range(4):
+            last = server.handle_key_frame(frame, label)[0].metric
+        assert last >= first
+
+
+def _client_driver(server_student_seed=5, num_key_frames=3):
+    """Build the messages a client would send."""
+    video = SyntheticVideo(VideoConfig(seed=1, height=32, width=48,
+                                       num_objects=2, class_pool=(1,)))
+    return [next(iter(video.frames(1))) for _ in range(num_key_frames)]
+
+
+def _serve_entry(endpoint):
+    server = Server(StudentNet(width=0.25, seed=5), OracleTeacher(),
+                    DistillConfig(max_updates=2))
+    server.serve(endpoint)
+
+
+class TestServeLoop:
+    def test_protocol_over_real_processes(self):
+        endpoint, proc = run_in_subprocess(_serve_entry)
+        try:
+            initial = endpoint.recv()  # initial student weights
+            assert isinstance(initial, dict) and initial
+            for frame, label in _client_driver():
+                endpoint.send((frame, label), nbytes=frame.nbytes)
+                reply = endpoint.recv()
+                assert 0.0 <= reply.metric <= 1.0
+                assert reply.update
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=30)
+        assert proc.exitcode == 0

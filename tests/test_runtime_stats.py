@@ -1,0 +1,77 @@
+"""Tests for RunStats aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.stats import FrameRecord, KeyFrameRecord, RunStats
+
+
+def make_stats(num_frames=10, num_key=2, total_time=2.0):
+    stats = RunStats(label="test")
+    for i in range(num_frames):
+        stats.frames.append(
+            FrameRecord(index=i, is_key=i < num_key, miou=0.5 + 0.05 * i,
+                        sim_time=0.2 * (i + 1), stride=8.0)
+        )
+    for i in range(num_key):
+        stats.key_frames.append(
+            KeyFrameRecord(index=i, metric=0.8, initial_metric=0.5,
+                           steps=4, up_bytes=1000, down_bytes=500)
+        )
+        stats.total_up_bytes += 1000
+        stats.total_down_bytes += 500
+    stats.total_time_s = total_time
+    return stats
+
+
+class TestRunStats:
+    def test_counts(self):
+        stats = make_stats()
+        assert stats.num_frames == 10
+        assert stats.num_key_frames == 2
+
+    def test_throughput(self):
+        stats = make_stats(num_frames=10, total_time=2.0)
+        assert stats.throughput_fps == pytest.approx(5.0)
+
+    def test_key_frame_ratio(self):
+        assert make_stats().key_frame_ratio == pytest.approx(0.2)
+
+    def test_mean_miou(self):
+        stats = make_stats()
+        expected = np.mean([0.5 + 0.05 * i for i in range(10)])
+        assert stats.mean_miou == pytest.approx(expected)
+
+    def test_traffic_mbps(self):
+        stats = make_stats(total_time=2.0)
+        # 3000 bytes over 2 s
+        assert stats.network_traffic_mbps == pytest.approx(3000 * 8 / 1e6 / 2)
+
+    def test_mean_distill_steps_skips_zero_step_keyframes(self):
+        stats = make_stats()
+        stats.key_frames.append(
+            KeyFrameRecord(index=9, metric=0.9, initial_metric=0.9,
+                           steps=0, up_bytes=1000, down_bytes=500)
+        )
+        assert stats.mean_distill_steps == pytest.approx(4.0)
+
+    def test_bytes_per_key_frame(self):
+        per_kf = make_stats().bytes_per_key_frame
+        mb = 1_000_000
+        assert per_kf["to_server"] == pytest.approx(1000 / mb)
+        assert per_kf["to_client"] == pytest.approx(500 / mb)
+        assert per_kf["total"] == pytest.approx(1500 / mb)
+
+    def test_empty_stats_safe(self):
+        stats = RunStats()
+        assert stats.throughput_fps == 0.0
+        assert stats.key_frame_ratio == 0.0
+        assert stats.mean_miou == 0.0
+        assert stats.mean_distill_steps == 0.0
+        assert stats.bytes_per_key_frame["total"] == 0.0
+
+    def test_summary_keys(self):
+        summary = make_stats().summary()
+        for key in ("frames", "key_frames", "throughput_fps",
+                    "key_frame_ratio_pct", "mean_miou_pct", "traffic_mbps"):
+            assert key in summary

@@ -1,0 +1,104 @@
+"""Tests for the event-trace subsystem and its client integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distill.config import DistillConfig
+from repro.models.student import StudentNet
+from repro.models.teacher import OracleTeacher
+from repro.network.model import NetworkModel
+from repro.runtime.client import Client
+from repro.runtime.server import Server
+from repro.runtime.trace import Event, EventType, NullTrace, Trace
+from repro.video.generator import SyntheticVideo, VideoConfig
+
+
+class TestTraceBasics:
+    def test_emit_and_query(self):
+        trace = Trace()
+        trace.emit(EventType.FRAME, 0.1, 0)
+        trace.emit(EventType.WAIT, 0.2, 1, duration=0.5)
+        assert len(trace) == 2
+        assert len(trace.of_type(EventType.WAIT)) == 1
+        assert trace.total_wait_time() == pytest.approx(0.5)
+
+    def test_null_trace_ignores_emit(self):
+        trace = NullTrace()
+        trace.emit(EventType.FRAME, 0.0, 0)
+        assert len(trace) == 0
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = Trace()
+        trace.emit(EventType.KEY_DISPATCH, 1.0, 8, steps=4.0, metric=0.9)
+        trace.emit(EventType.UPDATE_APPLY, 1.5, 8, key_index=8.0, metric=0.9,
+                   delay_frames=2.0)
+        path = tmp_path / "trace.json"
+        trace.to_json(path)
+        loaded = Trace.from_json(path.read_text())
+        assert len(loaded) == 2
+        assert loaded.events[0].type is EventType.KEY_DISPATCH
+        assert loaded.events[1].detail["delay_frames"] == 2.0
+
+    def test_json_is_valid(self):
+        trace = Trace()
+        trace.emit(EventType.FRAME, 0.0, 0)
+        parsed = json.loads(trace.to_json())
+        assert parsed[0]["type"] == "frame"
+
+    def test_dispatch_to_apply_latency(self):
+        trace = Trace()
+        trace.emit(EventType.KEY_DISPATCH, 1.0, 8)
+        trace.emit(EventType.UPDATE_APPLY, 1.4, 8, key_index=8.0)
+        latencies = trace.dispatch_to_apply_latencies()
+        assert latencies == [pytest.approx(0.4)]
+
+    def test_events_are_frozen(self):
+        event = Event(EventType.FRAME, 0.0, 0)
+        with pytest.raises(Exception):
+            event.sim_time = 1.0
+
+
+class TestClientIntegration:
+    def _run(self, bandwidth=80.0, frames=40):
+        cfg = DistillConfig(min_stride=4, max_stride=16, max_updates=2)
+        trace = Trace()
+        server = Server(StudentNet(width=0.25, seed=0), OracleTeacher(), cfg)
+        client = Client(
+            StudentNet(width=0.25, seed=0), server, cfg,
+            network=NetworkModel(bandwidth_mbps=bandwidth), trace=trace,
+        )
+        video = SyntheticVideo(VideoConfig(seed=1, height=32, width=48,
+                                           num_objects=2, class_pool=(1,)))
+        stats = client.run(video.frames(frames))
+        return stats, trace
+
+    def test_dispatch_events_match_key_frames(self):
+        stats, trace = self._run()
+        assert len(trace.of_type(EventType.KEY_DISPATCH)) == stats.num_key_frames
+
+    def test_apply_events_for_applied_updates(self):
+        stats, trace = self._run()
+        applied = [f for f in stats.frames if f.update_delay is not None]
+        assert len(trace.of_type(EventType.UPDATE_APPLY)) >= len(applied)
+
+    def test_wait_events_sum_to_wait_time(self):
+        stats, trace = self._run(bandwidth=2.0)  # force blocking
+        assert stats.wait_time_s > 0
+        assert trace.total_wait_time() == pytest.approx(stats.wait_time_s, rel=0.2)
+
+    def test_no_wait_events_on_fast_link(self):
+        stats, trace = self._run(bandwidth=10_000.0)
+        assert trace.total_wait_time() == 0.0
+
+    def test_latencies_positive(self):
+        _, trace = self._run()
+        for latency in trace.dispatch_to_apply_latencies():
+            assert latency >= 0.0
+
+    def test_default_client_traceless(self):
+        cfg = DistillConfig(min_stride=4, max_stride=16, max_updates=1)
+        server = Server(StudentNet(width=0.25, seed=0), OracleTeacher(), cfg)
+        client = Client(StudentNet(width=0.25, seed=0), server, cfg)
+        assert isinstance(client.trace, NullTrace)

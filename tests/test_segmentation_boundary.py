@@ -1,0 +1,99 @@
+"""Tests for boundary metrics and error decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation.boundary import (
+    boundary_f_score,
+    boundary_mask,
+    error_decomposition,
+)
+
+
+def square_label(size=16, lo=5, hi=11, cls=2):
+    label = np.zeros((size, size), dtype=np.int64)
+    label[lo:hi, lo:hi] = cls
+    return label
+
+
+class TestBoundaryMask:
+    def test_empty_label_no_boundary(self):
+        assert not boundary_mask(np.zeros((8, 8), dtype=np.int64)).any()
+
+    def test_square_boundary_ring(self):
+        mask = boundary_mask(square_label())
+        # The object's interior is not boundary.
+        assert not mask[7:9, 7:9].any()
+        # Pixels on either side of the edge are.
+        assert mask[5, 5] and mask[4, 5]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            boundary_mask(np.zeros((2, 3, 4)))
+
+    def test_every_change_detected(self, rng):
+        label = rng.integers(0, 3, size=(12, 12))
+        mask = boundary_mask(label)
+        # Any 4-neighbour pair with differing labels must both be marked.
+        diff_h = label[:-1, :] != label[1:, :]
+        assert mask[:-1, :][diff_h].all() and mask[1:, :][diff_h].all()
+
+
+class TestBoundaryFScore:
+    def test_perfect_prediction(self):
+        label = square_label()
+        assert boundary_f_score(label, label) == pytest.approx(1.0)
+
+    def test_both_empty_is_one(self):
+        empty = np.zeros((8, 8), dtype=np.int64)
+        assert boundary_f_score(empty, empty) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert boundary_f_score(np.zeros((16, 16), dtype=np.int64),
+                                square_label()) == 0.0
+
+    def test_one_pixel_shift_within_tolerance(self):
+        label = square_label()
+        shifted = np.roll(label, 1, axis=1)
+        assert boundary_f_score(shifted, label, tolerance=1) > 0.95
+        assert boundary_f_score(shifted, label, tolerance=0) < 0.9
+
+    def test_large_shift_scores_low(self):
+        label = square_label(size=24, lo=4, hi=10)
+        far = np.roll(label, 10, axis=0)
+        assert boundary_f_score(far, label, tolerance=1) < 0.3
+
+    def test_symmetric(self):
+        a = square_label(lo=5, hi=11)
+        b = square_label(lo=6, hi=12)
+        assert boundary_f_score(a, b) == pytest.approx(boundary_f_score(b, a))
+
+
+class TestErrorDecomposition:
+    def test_perfect_no_error(self):
+        label = square_label()
+        out = error_decomposition(label, label)
+        assert out["boundary_error"] == 0.0
+        assert out["interior_error"] == 0.0
+
+    def test_edge_jitter_is_boundary_error(self):
+        label = square_label()
+        pred = np.roll(label, 1, axis=0)  # 1-pixel jitter
+        out = error_decomposition(pred, label, band=2)
+        assert out["boundary_error"] > 0.0
+        assert out["interior_error"] == 0.0
+
+    def test_gross_miss_is_interior_error(self):
+        label = square_label(size=24, lo=4, hi=10)
+        pred = np.zeros_like(label)
+        pred[14:20, 14:20] = 2  # hallucinated far-away object
+        out = error_decomposition(pred, label, band=1)
+        assert out["interior_error"] > 0.0
+
+    def test_fractions_bounded(self, rng):
+        pred = rng.integers(0, 3, size=(16, 16))
+        label = rng.integers(0, 3, size=(16, 16))
+        out = error_decomposition(pred, label)
+        total_error = out["boundary_error"] + out["interior_error"]
+        assert 0.0 <= total_error <= 1.0
+        assert 0.0 <= out["boundary_fraction"] <= 1.0

@@ -1,0 +1,39 @@
+"""Tests for the LVS class palette."""
+
+import pytest
+
+from repro.segmentation.classes import (
+    BACKGROUND,
+    CLASS_INDEX,
+    LVS_CLASSES,
+    NUM_CLASSES,
+    class_name,
+)
+
+
+class TestPalette:
+    def test_nine_classes_total(self):
+        # 8 LVS object classes + background (student's out channels).
+        assert NUM_CLASSES == 9
+
+    def test_background_is_zero(self):
+        assert BACKGROUND == 0
+        assert LVS_CLASSES[0] == "background"
+
+    def test_paper_class_set(self):
+        expected = {"person", "bicycle", "automobile", "bird", "dog",
+                    "horse", "elephant", "giraffe"}
+        assert set(LVS_CLASSES[1:]) == expected
+
+    def test_index_lookup_consistent(self):
+        for i, name in enumerate(LVS_CLASSES):
+            assert CLASS_INDEX[name] == i
+
+    def test_class_name_roundtrip(self):
+        for i in range(NUM_CLASSES):
+            assert CLASS_INDEX[class_name(i)] == i
+
+    @pytest.mark.parametrize("bad", [-1, 9, 100])
+    def test_class_name_range_checked(self, bad):
+        with pytest.raises(ValueError):
+            class_name(bad)

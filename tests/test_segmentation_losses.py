@@ -1,0 +1,84 @@
+"""Tests for the LVS weight map and weighted cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.segmentation.losses import (
+    NEAR_RADIUS,
+    OBJECT_WEIGHT,
+    lvs_weight_map,
+    weighted_cross_entropy,
+)
+
+
+class TestWeightMap:
+    def test_background_only_all_ones(self):
+        label = np.zeros((8, 8), dtype=np.int64)
+        np.testing.assert_allclose(lvs_weight_map(label), np.ones((8, 8)))
+
+    def test_object_pixels_upweighted(self):
+        label = np.zeros((16, 16), dtype=np.int64)
+        label[6:10, 6:10] = 2
+        wm = lvs_weight_map(label)
+        assert (wm[6:10, 6:10] == OBJECT_WEIGHT).all()
+
+    def test_near_band_upweighted(self):
+        label = np.zeros((16, 16), dtype=np.int64)
+        label[8, 8] = 1
+        wm = lvs_weight_map(label)
+        # Dilation radius NEAR_RADIUS: pixels within the band share the weight.
+        assert wm[8, 8 + NEAR_RADIUS] == OBJECT_WEIGHT
+        assert wm[8, 8 + NEAR_RADIUS + 2] == 1.0
+
+    def test_batched_input(self):
+        label = np.zeros((2, 8, 8), dtype=np.int64)
+        label[1, 4, 4] = 3
+        wm = lvs_weight_map(label)
+        assert wm.shape == (2, 8, 8)
+        assert wm[0].max() == 1.0
+        assert wm[1].max() == OBJECT_WEIGHT
+
+    def test_custom_weight_and_radius(self):
+        label = np.zeros((8, 8), dtype=np.int64)
+        label[4, 4] = 1
+        wm = lvs_weight_map(label, object_weight=3.0, near_radius=0)
+        assert wm[4, 4] == 3.0
+        assert wm[4, 5] == 1.0
+
+    def test_weights_only_two_levels(self, rng):
+        label = rng.integers(0, 9, size=(12, 12))
+        wm = lvs_weight_map(label)
+        assert set(np.unique(wm)) <= {1.0, OBJECT_WEIGHT}
+
+
+class TestWeightedCrossEntropy:
+    def test_auto_weight_map_applied(self, rng):
+        logits = Tensor(rng.normal(size=(1, 9, 8, 8)), requires_grad=True)
+        label = np.zeros((8, 8), dtype=np.int64)
+        label[2:6, 2:6] = 1
+        loss = weighted_cross_entropy(logits, label)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_accepts_2d_and_3d_labels(self, rng):
+        logits = Tensor(rng.normal(size=(1, 9, 4, 4)))
+        label2d = rng.integers(0, 9, size=(4, 4))
+        a = weighted_cross_entropy(logits, label2d).item()
+        b = weighted_cross_entropy(logits, label2d[None]).item()
+        assert a == pytest.approx(b)
+
+    def test_object_errors_cost_more(self, rng):
+        # Same number of wrong pixels: errors on objects cost more than
+        # errors on far-away background.
+        label = np.zeros((16, 16), dtype=np.int64)
+        label[6:10, 6:10] = 1
+        base = np.zeros((1, 2, 16, 16), dtype=np.float32)
+        base[0, 0] = 5.0  # predict background everywhere
+
+        correct = base.copy()
+        correct[0, 1, 6:10, 6:10] = 10.0  # fix the object region
+        loss_obj_wrong = weighted_cross_entropy(Tensor(base), label).item()
+        loss_correct = weighted_cross_entropy(Tensor(correct), label).item()
+        assert loss_obj_wrong > loss_correct * 2

@@ -1,0 +1,156 @@
+"""Tests for Algorithm 2 (adaptive stride) and the baseline policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distill.config import DistillConfig
+from repro.striding.adaptive import AdaptiveStride, next_stride
+from repro.striding.baselines import ExponentialBackoffStride, FixedStride
+
+
+CFG = DistillConfig()  # threshold 0.8, strides [8, 64]
+
+
+class TestNextStrideMath:
+    def test_metric_at_threshold_keeps_stride(self):
+        s = next_stride(20.0, 0.8, 0.8, 1, 1000)
+        assert s == pytest.approx(20.0)
+
+    def test_metric_one_doubles(self):
+        s = next_stride(20.0, 1.0, 0.8, 1, 1000)
+        assert s == pytest.approx(40.0)
+
+    def test_metric_zero_collapses_to_min(self):
+        s = next_stride(20.0, 0.0, 0.8, 8, 64)
+        assert s == 8.0
+
+    def test_linear_below_threshold(self):
+        # ratio = metric / threshold (line through (0,0) and (T,1)).
+        s = next_stride(10.0, 0.4, 0.8, 1, 1000)
+        assert s == pytest.approx(10.0 * 0.5)
+
+    def test_linear_above_threshold(self):
+        # ratio = (m - 2T + 1)/(1 - T) (line through (T,1) and (1,2)).
+        s = next_stride(10.0, 0.9, 0.8, 1, 1000)
+        assert s == pytest.approx(10.0 * 1.5)
+
+    def test_clamped_to_bounds(self):
+        assert next_stride(100.0, 1.0, 0.8, 8, 64) == 64.0
+        assert next_stride(1.0, 0.1, 0.8, 8, 64) == 8.0
+
+    def test_invalid_metric_rejected(self):
+        with pytest.raises(ValueError):
+            next_stride(10.0, 1.5, 0.8, 8, 64)
+        with pytest.raises(ValueError):
+            next_stride(10.0, -0.1, 0.8, 8, 64)
+
+    @given(
+        stride=st.floats(1.0, 64.0),
+        metric=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_within_bounds_property(self, stride, metric):
+        s = next_stride(stride, metric, 0.8, 8, 64)
+        assert 8.0 <= s <= 64.0
+
+    @given(
+        m1=st.floats(0.0, 1.0),
+        m2=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_metric_property(self, m1, m2):
+        # A better metric never yields a shorter next stride.
+        lo, hi = sorted([m1, m2])
+        assert next_stride(20.0, lo, 0.8, 1, 1000) <= next_stride(
+            20.0, hi, 0.8, 1, 1000
+        ) + 1e-9
+
+    def test_ratio_continuous_at_threshold(self):
+        eps = 1e-6
+        below = next_stride(10.0, 0.8 - eps, 0.8, 1, 1000)
+        above = next_stride(10.0, 0.8 + eps, 0.8, 1, 1000)
+        assert below == pytest.approx(above, abs=1e-3)
+
+
+class TestAdaptiveStride:
+    def test_starts_at_min(self):
+        policy = AdaptiveStride(CFG)
+        assert policy.stride == CFG.min_stride
+        assert policy.frames_to_next() == CFG.min_stride
+
+    def test_good_metrics_grow_to_max(self):
+        policy = AdaptiveStride(CFG)
+        for _ in range(10):
+            policy.update(1.0)
+        assert policy.stride == CFG.max_stride
+
+    def test_bad_metric_collapses(self):
+        policy = AdaptiveStride(CFG)
+        for _ in range(10):
+            policy.update(1.0)
+        policy.update(0.1)
+        assert policy.stride < CFG.max_stride
+
+    def test_reset(self):
+        policy = AdaptiveStride(CFG)
+        policy.update(1.0)
+        policy.reset()
+        assert policy.stride == CFG.min_stride
+
+    def test_frames_to_next_rounds(self):
+        policy = AdaptiveStride(CFG)
+        policy.stride = 12.6
+        assert policy.frames_to_next() == 13
+
+
+class TestFixedStride:
+    def test_ignores_metric(self):
+        policy = FixedStride(CFG, stride=16)
+        for metric in (0.0, 0.5, 1.0):
+            assert policy.update(metric) == 16.0
+        assert policy.frames_to_next() == 16
+
+    def test_defaults_to_min_stride(self):
+        assert FixedStride(CFG).stride == CFG.min_stride
+
+    def test_reset_noop(self):
+        policy = FixedStride(CFG, stride=16)
+        policy.update(1.0)
+        policy.reset()
+        assert policy.stride == 16.0
+
+
+class TestExponentialBackoff:
+    def test_doubles_on_success(self):
+        policy = ExponentialBackoffStride(CFG)
+        policy.update(0.9)
+        assert policy.stride == 16.0
+        policy.update(0.9)
+        assert policy.stride == 32.0
+
+    def test_capped_at_max(self):
+        policy = ExponentialBackoffStride(CFG)
+        for _ in range(10):
+            policy.update(0.95)
+        assert policy.stride == CFG.max_stride
+
+    def test_resets_on_failure(self):
+        policy = ExponentialBackoffStride(CFG)
+        for _ in range(4):
+            policy.update(0.95)
+        policy.update(0.5)
+        assert policy.stride == CFG.min_stride
+
+    def test_borderline_oscillates(self):
+        # Metrics hovering at the threshold: exponential policy jumps
+        # between extremes while the adaptive one stays put — the
+        # paper's reason for a proportional rule.
+        exp = ExponentialBackoffStride(CFG)
+        ada = AdaptiveStride(CFG)
+        strides_exp, strides_ada = [], []
+        for metric in [0.82, 0.78, 0.82, 0.78, 0.82, 0.78]:
+            strides_exp.append(exp.update(metric))
+            strides_ada.append(ada.update(metric))
+        assert max(strides_exp) - min(strides_exp) > max(strides_ada) - min(
+            strides_ada
+        )

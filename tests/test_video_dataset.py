@@ -1,0 +1,106 @@
+"""Tests for the LVS-style dataset registry and FPS resampling."""
+
+import numpy as np
+import pytest
+
+from repro.segmentation.classes import CLASS_INDEX
+from repro.video.dataset import (
+    LVS_CATEGORIES,
+    NAMED_VIDEOS,
+    SCENERY_CLASSES,
+    make_category_video,
+    make_named_video,
+    resample_fps,
+)
+from repro.video.scene import CameraModel
+
+
+class TestCategories:
+    def test_seven_categories(self):
+        assert len(LVS_CATEGORIES) == 7
+
+    def test_paper_category_grid(self):
+        keys = {c.key for c in LVS_CATEGORIES}
+        assert keys == {
+            "fixed-animals", "fixed-people", "fixed-street",
+            "moving-animals", "moving-people", "moving-street",
+            "egocentric-people",
+        }
+
+    def test_scenery_class_pools(self):
+        assert SCENERY_CLASSES["people"] == (CLASS_INDEX["person"],)
+        assert CLASS_INDEX["automobile"] in SCENERY_CLASSES["street"]
+        assert CLASS_INDEX["giraffe"] in SCENERY_CLASSES["animals"]
+        assert all(0 not in pool for pool in SCENERY_CLASSES.values())
+
+    def test_make_category_video_uses_spec(self):
+        spec = LVS_CATEGORIES[0]
+        video = make_category_video(spec, height=32, width=48)
+        assert video.config.camera == spec.camera
+        assert video.config.num_objects == spec.num_objects
+        assert video.config.shape == (32, 48)
+
+    def test_video_labels_only_from_pool(self):
+        spec = LVS_CATEGORIES[1]  # fixed-people
+        video = make_category_video(spec, height=32, width=48)
+        seen = set()
+        for _, label in video.frames(20):
+            seen |= set(np.unique(label))
+        assert seen <= {0, CLASS_INDEX["person"]}
+
+
+class TestNamedVideos:
+    def test_figure4_videos_present(self):
+        assert set(NAMED_VIDEOS) == {
+            "softball", "figure_skating", "ice_hockey", "drone", "southbeach"
+        }
+
+    def test_make_named_video(self):
+        video = make_named_video("softball", height=32, width=48)
+        assert video.config.name == "softball"
+        assert video.config.camera is CameraModel.FIXED
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_named_video("nonexistent")
+
+    def test_difficulty_ordering_knobs(self):
+        # southbeach (hardest) must churn more than softball (easiest).
+        sb, so = NAMED_VIDEOS["southbeach"], NAMED_VIDEOS["softball"]
+        assert sb.num_objects > so.num_objects
+        assert sb.speed > so.speed
+        assert sb.texture_drift > so.texture_drift
+
+
+class TestResampleFPS:
+    def test_dynamics_scaled(self):
+        video = make_category_video(LVS_CATEGORIES[0], height=32, width=48)
+        low = resample_fps(video, 7.0)
+        ratio = video.config.fps / 7.0
+        assert low.config.speed == pytest.approx(video.config.speed * ratio)
+        assert low.config.texture_drift == pytest.approx(
+            video.config.texture_drift * ratio
+        )
+        assert low.config.fps == 7.0
+
+    def test_upsampling_rejected(self):
+        video = make_category_video(LVS_CATEGORIES[0])
+        with pytest.raises(ValueError):
+            resample_fps(video, 60.0)
+
+    def test_shot_length_rescaled(self):
+        video = make_category_video(LVS_CATEGORIES[2], height=32, width=48)
+        assert video.config.shot_length > 0
+        low = resample_fps(video, 7.0)
+        assert 0 < low.config.shot_length < video.config.shot_length
+
+    def test_resampled_video_less_coherent(self):
+        # Frame-to-frame change must grow after resampling — the paper's
+        # section 6.5 stressor.
+        video = make_category_video(LVS_CATEGORIES[0], height=32, width=48)
+        low = resample_fps(video, 7.0)
+        f_hi = [f.copy() for f, _ in video.frames(10)]
+        f_lo = [f.copy() for f, _ in low.frames(10)]
+        d_hi = np.mean([np.abs(f_hi[i + 1] - f_hi[i]).mean() for i in range(9)])
+        d_lo = np.mean([np.abs(f_lo[i + 1] - f_lo[i]).mean() for i in range(9)])
+        assert d_lo > d_hi

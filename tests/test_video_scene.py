@@ -1,0 +1,122 @@
+"""Tests for the scene graph: cameras, object motion, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.video.scene import Camera, CameraModel, Scene, SceneObject
+
+
+def make_object(rng, class_id=1, radii=(4.0, 4.0)):
+    return SceneObject(
+        class_id=class_id,
+        center=np.array([16.0, 24.0]),
+        velocity=np.array([0.5, -0.3]),
+        radii=radii,
+        texture_phase=0.0,
+        texture_freq=0.5,
+        texture_drift=0.02,
+        brightness=0.9,
+    )
+
+
+class TestCamera:
+    def test_fixed_never_moves(self, rng):
+        cam = Camera(model=CameraModel.FIXED)
+        for _ in range(50):
+            cam.step(rng)
+        assert cam.offset == (0.0, 0.0)
+
+    def test_moving_pans(self, rng):
+        cam = Camera(model=CameraModel.MOVING, pan_speed=1.0)
+        for _ in range(50):
+            cam.step(rng)
+        oy, ox = cam.offset
+        assert np.hypot(oy, ox) > 5.0
+
+    def test_egocentric_jitters(self):
+        # Two egocentric cameras with the same pan but different jitter
+        # draw different offsets.
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(2)
+        a = Camera(model=CameraModel.EGOCENTRIC)
+        b = Camera(model=CameraModel.EGOCENTRIC)
+        a.step(rng1)
+        b.step(rng2)
+        assert a.offset != b.offset
+
+    def test_enum_values(self):
+        assert CameraModel("fixed") is CameraModel.FIXED
+        assert {m.value for m in CameraModel} == {"fixed", "moving", "egocentric"}
+
+
+class TestSceneObject:
+    def test_moves_by_velocity(self, rng):
+        obj = make_object(rng)
+        start = obj.center.copy()
+        obj.step(rng, bounds=(0.0, 64.0, 0.0, 96.0))
+        moved = obj.center - start
+        np.testing.assert_allclose(moved[:2], [0.5, -0.3], atol=0.1)
+
+    def test_speed_scale(self, rng):
+        a, b = make_object(rng), make_object(rng)
+        sa, sb = a.center.copy(), b.center.copy()
+        a.step(rng, (0.0, 64.0, 0.0, 96.0), speed_scale=1.0)
+        b.step(np.random.default_rng(12345), (0.0, 64.0, 0.0, 96.0), speed_scale=4.0)
+        assert np.linalg.norm(b.center - sb) > 2 * np.linalg.norm(a.center - sa)
+
+    def test_bounce_keeps_center_inside(self, rng):
+        obj = make_object(rng)
+        obj.velocity = np.array([5.0, 5.0])
+        for _ in range(200):
+            obj.step(rng, bounds=(4.0, 60.0, 4.0, 92.0))
+            assert 4.0 <= obj.center[0] <= 60.0
+            assert 4.0 <= obj.center[1] <= 92.0
+
+    def test_degenerate_bounds_pins_midpoint(self, rng):
+        obj = make_object(rng)
+        obj.step(rng, bounds=(10.0, 10.0, 0.0, 96.0))
+        assert obj.center[0] == pytest.approx(10.0)
+
+    def test_texture_drifts(self, rng):
+        obj = make_object(rng)
+        p0 = obj.texture_phase
+        obj.step(rng, (0.0, 64.0, 0.0, 96.0))
+        assert obj.texture_phase > p0
+
+    @given(
+        vy=st.floats(-8, 8, allow_nan=False),
+        vx=st.floats(-8, 8, allow_nan=False),
+        steps=st.integers(1, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounce_invariant_property(self, vy, vx, steps):
+        rng = np.random.default_rng(0)
+        obj = make_object(rng)
+        obj.velocity = np.array([vy, vx])
+        for _ in range(steps):
+            obj.step(rng, bounds=(2.0, 62.0, 2.0, 94.0))
+            assert 2.0 <= obj.center[0] <= 62.0
+            assert 2.0 <= obj.center[1] <= 94.0
+
+
+class TestScene:
+    def test_step_advances_everything(self, rng):
+        objects = [make_object(rng)]
+        cam = Camera(model=CameraModel.MOVING)
+        scene = Scene(objects, cam, world_size=(64, 96), rng=rng,
+                      background_drift=0.01)
+        scene.step()
+        assert scene.frame_index == 1
+        assert scene.background_phase == pytest.approx(0.01)
+
+    def test_objects_track_moving_viewport(self, rng):
+        # After many steps of a panning camera, the object must still be
+        # inside the viewport (cameraman-follows-subject invariant).
+        obj = make_object(rng)
+        cam = Camera(model=CameraModel.MOVING, pan_speed=1.5)
+        scene = Scene([obj], cam, world_size=(64, 96), rng=rng)
+        for _ in range(300):
+            scene.step()
+        oy, ox = cam.offset
+        assert oy <= obj.center[0] <= oy + 64
+        assert ox <= obj.center[1] <= ox + 96
