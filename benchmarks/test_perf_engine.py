@@ -1,0 +1,48 @@
+"""Benchmark: compiled-engine speedup on the Table-3 partial protocol.
+
+The ISSUE-1 acceptance floor: the engine path must be >= 3x faster
+end-to-end than the seed autograd path on a 250-frame partial run at
+width 0.5, with argmax-identical predictions.  The measured record is
+appended to ``BENCH_PERF.json`` (repo root) so successive PRs can diff
+the perf trajectory; regenerate manually with::
+
+    PYTHONPATH=src python scripts/bench_perf.py
+"""
+
+import pytest
+
+from repro.experiments.perf import (
+    append_record,
+    format_record,
+    measure_engine_speedup,
+)
+
+
+@pytest.mark.benchmark(group="perf_engine")
+def test_engine_speedup(scale, results_sink):
+    record = measure_engine_speedup(
+        num_frames=scale.num_frames,
+        width=scale.student_width,
+        pretrain_steps=scale.pretrain_steps,
+    )
+    text = format_record(record)
+    print(text)
+    results_sink(text)
+
+    # Predictions must not change: bit-identical argmax per frame.
+    assert record["argmax_identical"]
+    assert record["argmax_frames_checked"] > 0
+    # Run trajectories are identical, so accuracy must match exactly.
+    assert record["seed_path"]["mean_miou"] == pytest.approx(
+        record["engine_path"]["mean_miou"], abs=1e-9
+    )
+    # The acceptance floor (ISSUE 1): >= 3x end-to-end wall-clock.
+    # Wall-clock measurements are load-sensitive; the margin is real
+    # (~3.3-3.5x quiet) but do not run this in parallel with other
+    # heavy jobs.
+    assert record["speedup"] >= 3.0
+    assert record["predict_speedup"] > 1.5
+    assert record["distill_step_speedup"] > 1.5
+    # Append only after the floor holds, so a failing (e.g. heavily
+    # loaded) run cannot pollute the committed perf trajectory.
+    append_record(record)

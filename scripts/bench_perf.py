@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Measure the compiled-engine speedup and append it to BENCH_PERF.json.
+
+Runs the Table-3 partial-distillation protocol (250 frames, width 0.5 by
+default) twice — seed autograd path vs compiled engine — and records
+end-to-end wall FPS, per-frame predict latency, per-step distillation
+latency, and the engine-vs-autograd argmax equivalence check.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py [--frames 250]
+        [--width 0.5] [--category fixed-animals] [--output BENCH_PERF.json]
+
+Each invocation appends one timestamped record, so the file accumulates
+the throughput trajectory across PRs.  The benchmark suite
+(``benchmarks/test_perf_engine.py``) uses the same measurement and
+enforces the >= 3x floor.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.perf import (  # noqa: E402
+    DEFAULT_RESULTS_PATH,
+    append_record,
+    format_record,
+    measure_engine_speedup,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=250)
+    parser.add_argument("--width", type=float, default=0.5)
+    parser.add_argument("--category", default="fixed-animals")
+    parser.add_argument("--pretrain-steps", type=int, default=80)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_RESULTS_PATH)
+    args = parser.parse_args()
+
+    record = measure_engine_speedup(
+        num_frames=args.frames,
+        width=args.width,
+        category=args.category,
+        pretrain_steps=args.pretrain_steps,
+    )
+    path = append_record(record, args.output)
+    print(format_record(record))
+    print(f"appended record to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -242,6 +242,48 @@ def section_figure4(scale):
     )
 
 
+def section_perf():
+    """Wall-clock trajectory of the compiled engine (BENCH_PERF.json)."""
+    import json
+
+    from repro.experiments.perf import DEFAULT_RESULTS_PATH
+
+    if not DEFAULT_RESULTS_PATH.exists():
+        return (
+            "## Wall-clock performance (compiled engine)\n\n"
+            "No BENCH_PERF.json yet — generate with "
+            "`PYTHONPATH=src python scripts/bench_perf.py`.\n"
+        )
+    records = json.loads(DEFAULT_RESULTS_PATH.read_text())
+    rows = []
+    for rec in records[-8:]:
+        proto = rec["protocol"]
+        rows.append([
+            rec["timestamp"],
+            f"{proto['num_frames']}@{proto['student_width']}",
+            f2(rec["seed_path"]["wall_fps"]),
+            f2(rec["engine_path"]["wall_fps"]),
+            f2(rec["speedup"]),
+            f2(rec["engine_path"]["predict_ms"]),
+            f2(rec["engine_path"]["distill_step_ms"]),
+            "yes" if rec["argmax_identical"] else "NO",
+        ])
+    table = md_table(
+        ["run", "frames@width", "seed fps", "engine fps", "speedup",
+         "predict ms", "step ms", "argmax ="],
+        rows,
+    )
+    return (
+        "## Wall-clock performance (compiled engine)\n\n" + table +
+        "\n\nReal wall-clock FPS of the 250-frame Table-3 partial "
+        "protocol, seed autograd path vs compiled engine.  Each "
+        "`scripts/bench_perf.py` run appends a record to BENCH_PERF.json "
+        "so the trajectory accumulates across PRs; "
+        "`benchmarks/test_perf_engine.py` enforces the >= 3x floor and "
+        "argmax-identical predictions.\n"
+    )
+
+
 def main() -> None:
     scale = default_scale()
     t0 = time.time()
@@ -266,6 +308,7 @@ def main() -> None:
         section_table6(scale),
         section_table7(scale),
         section_figure4(scale),
+        section_perf(),
         "## Bounds and planner (sections 5.3 / 6.2)\n\n"
         "| quantity | measured | paper |\n|---|---|---|\n",
     ]

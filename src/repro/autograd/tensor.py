@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.engine import tracer as _tracer
+
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
 _GRAD_ENABLED = True
@@ -205,7 +207,10 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.data.shape))
             other._accumulate(_unbroadcast(grad, other.data.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record("add", (self, other), out)
+        return out
 
     __radd__ = __add__
 
@@ -323,7 +328,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record("relu", (self,), out)
+        return out
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
@@ -374,7 +382,10 @@ class Tensor:
                 index[axis] = slice(lo, hi)
                 t._accumulate(grad[tuple(index)])
 
-        return Tensor._make(out_data, tuple(tensors), backward)
+        out = Tensor._make(out_data, tuple(tensors), backward)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record("concat", tuple(tensors), out, axis=axis)
+        return out
 
     def pad2d(self, pad_h: int, pad_w: int) -> "Tensor":
         """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
@@ -401,7 +412,10 @@ class Tensor:
             g = grad.reshape(n, c, h2 // 2, 2, w2 // 2, 2).sum(axis=(3, 5))
             self._accumulate(g)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record("upsample2x", (self,), out)
+        return out
 
     def avg_pool2d(self, k: int = 2) -> "Tensor":
         """Non-overlapping average pooling with square kernel ``k``."""

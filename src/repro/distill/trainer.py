@@ -11,6 +11,17 @@ frame, no optimisation step is taken (d = 0, which the traffic
 upper-bound derivation in section 4.4 relies on); otherwise up to
 MAX_UPDATES steps run, tracking the best checkpoint, with early exit as
 soon as the metric exceeds THRESHOLD.
+
+Hot-loop strategy (the engine integration): with the paper's freeze
+boundary, the frozen front-end's activations for the key frame are
+constant across all optimisation steps, so they are computed **once**
+through the compiled engine and reused — freeze-boundary activation
+caching.  Each step then runs a compiled forward+backward over just the
+trainable back-end (:class:`repro.engine.training.CompiledTrainStep`),
+the forward-pass twin of PartialBackward.  Every tier degrades
+gracefully: compiled step -> cached-front autograd -> the original
+full-forward autograd loop (also used when the engine is disabled, and
+measured as the seed baseline by ``scripts/bench_perf.py``).
 """
 
 from __future__ import annotations
@@ -20,11 +31,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.distill.config import DistillConfig, DistillMode
 from repro.models.student import StudentNet, partial_freeze
 from repro.nn.optim import Adam
-from repro.nn.serialize import clone_state_dict
+from repro.nn.serialize import apply_state_dict, state_dict_diff
 from repro.segmentation.losses import lvs_weight_map, weighted_cross_entropy
 from repro.segmentation.metrics import mean_iou
 
@@ -38,6 +49,92 @@ class TrainResult:
     steps: int               #: optimisation steps actually taken (<= MAX_UPDATES)
     losses: List[float]      #: loss after each step
     improved: bool           #: whether training beat the initial metric
+
+
+class _AutogradStepRunner:
+    """The original define-by-run loop (seed path / universal fallback)."""
+
+    def __init__(self, student, frame, x, target, weight_map) -> None:
+        self.student = student
+        self.frame = frame
+        self.x = x
+        self.target = target
+        self.weight_map = weight_map
+
+    def step(self) -> float:
+        logits = self.student(self.x)
+        loss = weighted_cross_entropy(logits, self.target, self.weight_map)
+        loss.backward()
+        return loss.item()
+
+    def predict(self) -> np.ndarray:
+        return self.student.predict(self.frame)
+
+
+class _CachedFrontStepRunner(_AutogradStepRunner):
+    """Cached front-end features + autograd back-end (partial mode).
+
+    Used when the back-end geometry fails to compile; still skips the
+    frozen front-end's forward on every step.
+    """
+
+    def __init__(self, student, feats, back_plan, frame, target, weight_map) -> None:
+        super().__init__(student, frame, None, target, weight_map)
+        self.feats = feats
+        self.back_plan = back_plan
+
+    def step(self) -> float:
+        inputs = tuple(Tensor(f) for f in self.feats)
+        logits = self.student.forward_back(*inputs)
+        loss = weighted_cross_entropy(logits, self.target, self.weight_map)
+        loss.backward()
+        return loss.item()
+
+    def predict(self) -> np.ndarray:
+        if self.back_plan is not None:
+            (logits,) = self.back_plan.run(*self.feats)
+            return logits.argmax(axis=1)[0]
+        with no_grad():
+            logits = self.student.forward_back(*(Tensor(f) for f in self.feats))
+        return logits.data.argmax(axis=1)[0]
+
+
+class _CompiledStepRunner:
+    """Fully compiled train step (back-end with cached feats, or the
+    whole student in full mode — ``inputs`` is whatever the plan eats).
+
+    The per-step metric predict is merged into the next step's forward:
+    with fixed inputs, the eval prediction after update ``i`` and the
+    training forward of update ``i + 1`` are the same computation
+    (identical inputs and weights; batch-norm always normalises with
+    batch statistics here).  ``predict()`` therefore runs the train
+    plan's forward with running-stat commits deferred, and the
+    following ``step()`` reuses those activations — halving the loop's
+    forward count while leaving every observable (losses, metrics,
+    committed buffers) bit-identical to the seed loop.
+    """
+
+    def __init__(self, train_plan, inputs, target, weight_map) -> None:
+        self.train_plan = train_plan
+        self.inputs = inputs
+        self.target = target
+        self.weight_map = weight_map
+        #: True when the plan holds a forward primed *by this runner*
+        #: with the current weights (a stale pending forward could have
+        #: survived on the cached plan from a previous key frame).
+        self._primed = False
+        train_plan.has_pending_forward = False
+
+    def step(self) -> float:
+        if not self._primed:
+            self.train_plan.forward_only(self.inputs)
+        self._primed = False
+        return self.train_plan.finish_step(self.target, self.weight_map)
+
+    def predict(self) -> np.ndarray:
+        logits = self.train_plan.forward_only(self.inputs)
+        self._primed = True
+        return logits.argmax(axis=1)[0]
 
 
 class StudentTrainer:
@@ -70,6 +167,67 @@ class StudentTrainer:
             self.trainable_fraction = 1.0
         self._optimizer = Adam(student.trainable_parameters(), lr=config.lr)
 
+    # ------------------------------------------------------------------
+    def _front_fully_frozen(self) -> bool:
+        """True when every parameter through SB4 is frozen, i.e. the
+        paper's freeze boundary (or a deeper one) is in effect and the
+        front-end activations are constants per key frame."""
+        front = set(StudentNet.FRONT_MODULES)
+        saw_front = False
+        for name, p in self.student.named_parameters():
+            if name.split(".", 1)[0] in front:
+                saw_front = True
+                if p.requires_grad:
+                    return False
+        return saw_front
+
+    def _front_features(self, x4: np.ndarray) -> tuple:
+        """Key-frame activations at the freeze boundary, computed once.
+
+        Engine plan buffers are reused across runs, so the features are
+        copied out — they must stay valid across the whole optimisation
+        loop while other plans (metric predicts) execute.
+        """
+        student = self.student
+        plan = student.engine_plan("front", (tuple(x4.shape),))
+        if plan is not None:
+            return tuple(np.array(f, copy=True) for f in plan.run(x4))
+        with no_grad():
+            s1, s2, s4 = student.forward_front(Tensor(x4))
+        return (s1.data, s2.data, s4.data)
+
+    def _make_step_runner(self, frame: np.ndarray, x4: np.ndarray, target, weight_map):
+        """Pick the fastest step implementation valid for the current
+        freeze configuration; every tier preserves Algorithm 1 exactly."""
+        student = self.student
+        from repro import engine
+
+        if engine.is_enabled() and isinstance(student, StudentNet):
+            if self._front_fully_frozen():
+                feats = self._front_features(x4)
+                shapes = tuple(tuple(f.shape) for f in feats)
+                train_plan = student.engine_plan("train_back", shapes)
+                if train_plan is not None:
+                    return _CompiledStepRunner(train_plan, feats, target, weight_map)
+                # Fallback tier only: the eval back plan is not needed
+                # (or compiled) when the train step is available.
+                back_plan = student.engine_plan("back", shapes)
+                return _CachedFrontStepRunner(
+                    student, feats, back_plan, frame, target, weight_map
+                )
+            if self.trainable_fraction == 1.0 and engine.full_train_enabled():
+                # Opt-in only (REPRO_ENGINE_FULL=1): compiled full-mode
+                # training is float32-close, not bit-exact, to the seed
+                # loop, and published full-distillation numbers must not
+                # depend on the engine flag.
+                train_plan = student.engine_plan("train_full", (tuple(x4.shape),))
+                if train_plan is not None:
+                    return _CompiledStepRunner(
+                        train_plan, (x4,), target, weight_map
+                    )
+        return _AutogradStepRunner(student, frame, Tensor(x4), target, weight_map)
+
+    # ------------------------------------------------------------------
     def train(self, frame: np.ndarray, label: np.ndarray) -> TrainResult:
         """Distil the teacher's pseudo-label into the student (Alg. 1)."""
         cfg = self.config
@@ -77,7 +235,7 @@ class StudentTrainer:
         if cfg.reset_optimizer_state:
             self._optimizer.reset_state()
 
-        x = Tensor(frame[None] if frame.ndim == 3 else frame)
+        x4 = frame[None] if frame.ndim == 3 else frame
         target = label[None] if label.ndim == 2 else label
         weight_map = lvs_weight_map(target)
 
@@ -90,30 +248,33 @@ class StudentTrainer:
         steps = 0
 
         if best_metric < cfg.threshold:
+            runner = self._make_step_runner(frame, x4, target, weight_map)
             student.train()
             for _ in range(cfg.max_updates):
                 self._optimizer.zero_grad()
-                logits = student(x)
-                loss = weighted_cross_entropy(logits, target, weight_map)
-                loss.backward()
+                losses.append(runner.step())
                 self._optimizer.step()
-                losses.append(loss.item())
                 steps += 1
 
                 student.eval()
-                pred = student.predict(frame)
+                pred = runner.predict()
                 metric = mean_iou(pred, label)
                 student.train()
                 if metric > best_metric:
                     best_metric = metric
-                    best_state = clone_state_dict(student.state_dict())
+                    # Snapshot only what training can change: trainable
+                    # parameters plus the buffers of unfrozen modules
+                    # (batch-norm running stats).  The frozen front-end
+                    # never moves, so cloning the whole student per
+                    # improving step was pure overhead.
+                    best_state = state_dict_diff(student, trainable_only=True)
                 if metric > cfg.threshold:
                     break
             student.eval()
             # Roll back to the best checkpoint (Algorithm 1 returns
             # best_student, not the last iterate).
             if best_state is not None and best_metric > initial_metric:
-                student.load_state_dict(best_state)
+                apply_state_dict(student, best_state)
 
         return TrainResult(
             metric=best_metric,

@@ -1,0 +1,110 @@
+"""Compiled inference engine for the ShadowTutor hot loop.
+
+The autograd stack (:mod:`repro.autograd`) is define-by-run: every op
+allocates a ``Tensor``, wires a backward closure, and re-derives its
+geometry.  That is the right tool for training research code and the
+wrong tool for the steady-state loop, where the same network runs over
+thousands of frames at a fixed geometry.
+
+This package compiles a model's forward pass **once per (shape, width)
+geometry** into a flat list of fused NumPy kernels:
+
+* ``Conv2d`` lowers to a cached flat-index gather + one GEMM into a
+  preallocated scratch buffer, with bias add and ReLU fused in place;
+  1x1/stride-1 convolutions skip the gather entirely.
+* ``BatchNorm2d`` becomes a per-channel scale/shift kernel (batch
+  statistics recomputed when the layer is configured for them,
+  running statistics folded otherwise).
+* concat/upsample write into preallocated buffers through views.
+
+Executing a plan allocates **zero** ``Tensor`` objects.  Kernels read
+parameters and buffers from the live modules at execution time, so
+weight updates (optimizer steps, ``apply_state_dict``) are picked up
+without recompilation; only *weight-static* plans — none are built
+today — must be dropped on a state-dict load, which
+:meth:`repro.nn.module.Module.invalidate_plans` handles.
+
+:mod:`repro.engine.training` extends the same machinery with compiled
+backward kernels, giving Algorithm 1 a fused train step over the
+trainable back-end (the forward-pass twin of the paper's
+``PartialBackward``).
+
+The engine is enabled by default; set ``REPRO_ENGINE=0`` (or call
+:func:`set_enabled`) to fall back to the pure autograd seed path —
+the perf benchmark uses exactly that switch to measure the speedup.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.engine import tracer  # noqa: F401  (dependency-free submodule)
+
+_FALSY = ("0", "false", "off", "no")
+
+_ENABLED = os.environ.get("REPRO_ENGINE", "1").strip().lower() not in _FALSY
+
+#: Compiled *full-distillation* training is opt-in: with three gradient
+#: consumers on the Figure-3b skip tensors, float32 summation order
+#: differs from autograd's topological order, so full-mode trajectories
+#: are close but not bit-identical — the reproduction's full-mode
+#: numbers must not depend on whether the engine is on.  Partial
+#: distillation (the paper's default) is bit-exact and always eligible.
+_FULL_TRAIN = os.environ.get("REPRO_ENGINE_FULL", "0").strip().lower() not in _FALSY
+
+
+def is_enabled() -> bool:
+    """Whether models should route hot paths through compiled plans."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable the engine process-wide; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def full_train_enabled() -> bool:
+    """Whether full-distillation training may use the compiled step."""
+    return _ENABLED and _FULL_TRAIN
+
+
+def set_full_train_enabled(flag: bool) -> bool:
+    """Opt in/out of compiled full-mode training; returns previous value."""
+    global _FULL_TRAIN
+    previous = _FULL_TRAIN
+    _FULL_TRAIN = bool(flag)
+    return previous
+
+
+@contextlib.contextmanager
+def disabled():
+    """Context manager that runs the block on the pure autograd path."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# Heavier submodules are exposed lazily: they import the autograd/nn
+# stack, which itself imports ``repro.engine.tracer`` at load time.
+_LAZY = {
+    "compile_plan": ("repro.engine.compiler", "compile_plan"),
+    "CompiledPlan": ("repro.engine.compiler", "CompiledPlan"),
+    "UntraceableError": ("repro.engine.kernels", "UntraceableError"),
+    "CompiledTrainStep": ("repro.engine.training", "CompiledTrainStep"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,462 @@
+"""Fused NumPy kernels executed by compiled plans.
+
+Each kernel is a *step*: it reads input activations from the shared
+``env`` slot table, writes its output into a buffer it owns, and (when
+built for training) can push gradients backwards through the same
+geometry.  All geometry work — gather indices, padded buffers, GEMM
+scratch — happens once at build time; executing a step is pure array
+math with no per-call allocation on the main path.
+
+Numeric contract: every kernel mirrors the exact operation order of its
+autograd twin (:mod:`repro.autograd.conv`, :mod:`repro.nn.layers`,
+:mod:`repro.autograd.tensor`), so plan *forward* outputs are
+bit-identical to the define-by-run forward — the engine-vs-autograd
+equivalence tests rely on this, and argmax predictions cannot drift
+between the two paths.  Backward is bit-identical wherever each
+gradient sums at most two contributions (all of the student's
+back-end, hence partial distillation); tensors with three or more
+gradient consumers (the Figure-3b skips under full distillation) only
+match to float32 round-off, because summation order differs.
+
+Weight handling: kernels hold *module references* and read
+``weight.data`` / buffers at execution time.  In-place optimizer
+updates and rebinding loads (``load_state_dict`` / ``apply_state_dict``)
+are therefore picked up automatically; no kernel caches packed weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.conv import _out_dim
+
+
+class UntraceableError(RuntimeError):
+    """A traced graph contains an op or geometry the engine cannot compile."""
+
+
+def _set_grad(param, value: np.ndarray) -> None:
+    """Install ``value`` as ``param.grad`` (accumulating if one exists).
+
+    The compiled backward computes each parameter's gradient exactly
+    once per step, so after ``optimizer.zero_grad()`` this is a plain
+    assignment of a scratch view — no per-step gradient allocation.
+    """
+    if param.grad is None:
+        param.grad = value
+    else:
+        param.grad += value
+
+
+class ConvStep:
+    """conv2d [+ bias] [+ fused ReLU] via cached-index gather and GEMM."""
+
+    def __init__(
+        self,
+        module,
+        in_slot: int,
+        out_slot: int,
+        in_shape: Sequence[int],
+        fuse_relu: bool,
+        training: bool,
+    ) -> None:
+        n, c, h, w = in_shape
+        kh, kw = module.kernel_size
+        ph, pw = module.padding
+        stride = module.stride
+        if module.in_channels != c:
+            raise UntraceableError(
+                f"conv expects {module.in_channels} channels, traced input has {c}"
+            )
+        self.module = module
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.fuse_relu = fuse_relu
+        self.n, self.c, self.h, self.w = n, c, h, w
+        self.kh, self.kw, self.ph, self.pw, self.stride = kh, kw, ph, pw, stride
+        self.oc = module.out_channels
+        self.oh = _out_dim(h, kh, ph, stride)
+        self.ow = _out_dim(w, kw, pw, stride)
+        self.L = self.oh * self.ow
+        self.K = c * kh * kw
+        self.x_shape = (n, c, h, w)
+        self.out_shape = (n, self.oc, self.oh, self.ow)
+        #: 1x1 stride-1 unpadded convs are pure channel mixes: the GEMM
+        #: reads the input through a reshape view, no gather at all.
+        self.is_1x1 = kh == 1 and kw == 1 and stride == 1 and ph == 0 and pw == 0
+
+        if self.is_1x1:
+            self._xp = None
+            self._cols = None if n == 1 else np.empty((self.K, n * self.L), np.float32)
+        else:
+            if ph or pw:
+                self._xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), np.float32)
+                self._xp_interior = self._xp[:, :, ph : ph + h, pw : pw + w]
+            else:
+                self._xp = None
+            # Column scratch in im2col layout: axis order (c, kh, kw, [n,] L)
+            # flattens to the same (C*kh*kw, N*L) matrix autograd builds.
+            # It is filled with one strided slice copy per kernel tap —
+            # ~4x faster than a fancy-index gather of the same elements.
+            if n == 1:
+                self._cols3d = np.empty((c, kh, kw, self.L), np.float32)
+                self._dsts = [
+                    [self._cols3d[:, i, j].reshape(c, self.oh, self.ow) for j in range(kw)]
+                    for i in range(kh)
+                ]
+            else:
+                self._cols3d = np.empty((c, kh, kw, n, self.L), np.float32)
+                self._dsts = [
+                    [
+                        self._cols3d[:, i, j].reshape(c, n, self.oh, self.ow)
+                        for j in range(kw)
+                    ]
+                    for i in range(kh)
+                ]
+            self._cols = self._cols3d.reshape(self.K, n * self.L)
+        self._out_mat = np.empty((self.oc, n * self.L), np.float32)
+        # The NCHW output is a free view of the GEMM result; for n > 1 it
+        # is the same transposed view autograd produces, so downstream
+        # reductions (batch-norm statistics) iterate memory in the same
+        # order and stay bit-identical to the define-by-run path.
+        self.out = (
+            self._out_mat.reshape(1, self.oc, self.oh, self.ow)
+            if n == 1
+            else self._out_mat.reshape(self.oc, n, self.oh, self.ow).transpose(1, 0, 2, 3)
+        )
+        self._saved_cols: Optional[np.ndarray] = None
+        if training:
+            self._mask = np.empty(self.out_shape, bool) if fuse_relu else None
+            self._gpre = np.empty(self.out_shape, np.float32) if fuse_relu else None
+            self._gw = np.empty((self.oc, self.K), np.float32)
+            self._gcols = np.empty((self.K, n * self.L), np.float32)
+            self._gmat = (
+                np.empty((self.oc, n * self.L), np.float32) if n > 1 else None
+            )
+            if not self.is_1x1:
+                # col2im as the inverse of the slice-copy gather: one
+                # strided += per kernel tap into a padded scratch image.
+                # float64 accumulation + downcast in autograd's col2im
+                # tap order keeps input gradients bit-identical to the
+                # define-by-run backward (and to the seed's bincount).
+                self._gxp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), np.float64)
+                self._gxp_interior = self._gxp[:, :, ph : ph + h, pw : pw + w]
+                self._gx32 = np.empty((n, c, h, w), np.float32)
+                grid = (c, kh, kw, self.L) if n == 1 else (c, kh, kw, n, self.L)
+                gcols_grid = self._gcols.reshape(grid)
+                if n == 1:
+                    self._gsrcs = [
+                        [
+                            gcols_grid[:, i, j].reshape(c, self.oh, self.ow)
+                            for j in range(kw)
+                        ]
+                        for i in range(kh)
+                    ]
+                else:
+                    self._gsrcs = [
+                        [
+                            gcols_grid[:, i, j]
+                            .reshape(c, n, self.oh, self.ow)
+                            .transpose(1, 0, 2, 3)
+                            for j in range(kw)
+                        ]
+                        for i in range(kh)
+                    ]
+
+    # ------------------------------------------------------------------
+    def _gather(self, x: np.ndarray) -> np.ndarray:
+        """Fill the column matrix (layout identical to autograd im2col)."""
+        n, L = self.n, self.L
+        if self.is_1x1:
+            if n == 1:
+                return x.reshape(self.c, L)
+            np.copyto(
+                self._cols, x.transpose(1, 0, 2, 3).reshape(self.c, n * L)
+            )
+            return self._cols
+        if self._xp is not None:
+            self._xp_interior[...] = x
+            src = self._xp
+        else:
+            src = x
+        s, oh, ow = self.stride, self.oh, self.ow
+        for i in range(self.kh):
+            for j in range(self.kw):
+                tap = src[:, :, i : i + s * oh : s, j : j + s * ow : s]
+                if n == 1:
+                    np.copyto(self._dsts[i][j], tap[0])
+                else:
+                    np.copyto(self._dsts[i][j], tap.transpose(1, 0, 2, 3))
+        return self._cols
+
+    def forward(self, env: List[np.ndarray]) -> None:
+        cols = self._gather(env[self.in_slot])
+        self._saved_cols = cols
+        w_mat = self.module.weight.data.reshape(self.oc, self.K)
+        np.dot(w_mat, cols, out=self._out_mat)
+        bias = self.module.bias
+        if bias is not None:
+            self._out_mat += bias.data[:, None]
+        if self.fuse_relu:
+            np.maximum(self._out_mat, 0.0, out=self._out_mat)
+        env[self.out_slot] = self.out
+
+    def backward(self, env: List[np.ndarray], gbufs: List[Optional[np.ndarray]]) -> None:
+        g = gbufs[self.out_slot]
+        if self.fuse_relu:
+            np.greater(self.out, 0.0, out=self._mask)
+            np.multiply(g, self._mask, out=self._gpre)
+            gpre = self._gpre
+        else:
+            gpre = g
+        if self.n == 1:
+            grad_mat = gpre.reshape(self.oc, self.L)
+        else:
+            np.copyto(
+                self._gmat.reshape(self.oc, self.n, self.oh, self.ow),
+                gpre.swapaxes(0, 1),
+            )
+            grad_mat = self._gmat
+        weight = self.module.weight
+        if weight.requires_grad:
+            np.dot(grad_mat, self._saved_cols.T, out=self._gw)
+            _set_grad(weight, self._gw.reshape(weight.data.shape))
+        bias = self.module.bias
+        if bias is not None and bias.requires_grad:
+            _set_grad(bias, gpre.sum(axis=(0, 2, 3)))
+        gin = gbufs[self.in_slot]
+        if gin is not None:
+            w_mat = weight.data.reshape(self.oc, self.K)
+            np.dot(w_mat.T, grad_mat, out=self._gcols)
+            if self.is_1x1:
+                # col2im is an identity scatter for 1x1/stride-1.
+                if self.n == 1:
+                    gx = self._gcols.reshape(1, self.c, self.h, self.w)
+                else:
+                    gx = self._gcols.reshape(self.c, self.n, self.h, self.w).swapaxes(0, 1)
+                gin += gx
+            else:
+                self._gxp.fill(0.0)
+                s, oh, ow = self.stride, self.oh, self.ow
+                for i in range(self.kh):
+                    for j in range(self.kw):
+                        self._gxp[:, :, i : i + s * oh : s, j : j + s * ow : s] += (
+                            self._gsrcs[i][j]
+                        )
+                # Downcast before accumulating, matching autograd's
+                # col2im (f32(sum64) then a float32 add).
+                np.copyto(self._gx32, self._gxp_interior)
+                gin += self._gx32
+
+
+class BatchNormStep:
+    """BatchNorm2d as per-channel scale/shift.
+
+    ``training`` selects train semantics (batch statistics + running-stat
+    momentum updates, exactly as :class:`repro.nn.layers.BatchNorm2d`);
+    eval plans use batch statistics only when the layer is configured
+    with ``use_batch_stats_in_eval`` (the ShadowTutor student always is)
+    and otherwise fold the running statistics — re-read per call, so a
+    state-dict load needs no recompile.
+    """
+
+    def __init__(self, module, in_slot, out_slot, in_shape, training: bool) -> None:
+        n, c, h, w = in_shape
+        if c != module.num_features:
+            raise UntraceableError(
+                f"batchnorm expects {module.num_features} channels, got {c}"
+            )
+        self.module = module
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.c = c
+        self.n_elem = n * h * w
+        self.out_shape = tuple(in_shape)
+        self._training = training
+        self._xhat = np.empty(self.out_shape, np.float32)
+        self.out = np.empty(self.out_shape, np.float32)
+        self._inv_std: Optional[np.ndarray] = None
+        #: Batch statistics awaiting a running-stat commit (train plans
+        #: defer the momentum update so a forward used only for the
+        #: post-update metric leaves no trace, exactly like the seed
+        #: loop's separate eval predict).
+        self._pending_stats: Optional[tuple] = None
+        if training:
+            self._tmp = np.empty(self.out_shape, np.float32)
+            self._tmp2 = np.empty(self.out_shape, np.float32)
+
+    def forward(self, env: List[np.ndarray]) -> None:
+        m = self.module
+        x = env[self.in_slot]
+        c = self.c
+        if self._training or m.use_batch_stats_in_eval:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            if self._training:
+                self._pending_stats = (mean, var)
+        else:
+            mean = m.running_mean
+            var = m.running_var
+        inv_std = 1.0 / np.sqrt(var + m.eps)
+        np.subtract(x, mean.reshape(1, c, 1, 1), out=self._xhat)
+        self._xhat *= inv_std.reshape(1, c, 1, 1)
+        np.multiply(self._xhat, m.weight.data.reshape(1, c, 1, 1), out=self.out)
+        self.out += m.bias.data.reshape(1, c, 1, 1)
+        self._inv_std = inv_std
+        env[self.out_slot] = self.out
+
+    def commit_running_stats(self) -> None:
+        """Apply the deferred momentum update (train plans call this once
+        the step is confirmed; mirrors BatchNorm2d's train forward)."""
+        if self._pending_stats is None:
+            return
+        m = self.module
+        mean, var = self._pending_stats
+        m.set_buffer(
+            "running_mean", (1 - m.momentum) * m.running_mean + m.momentum * mean
+        )
+        m.set_buffer(
+            "running_var", (1 - m.momentum) * m.running_var + m.momentum * var
+        )
+        self._pending_stats = None
+
+    def backward(self, env, gbufs) -> None:
+        # Into preallocated scratch throughout, mirroring the exact
+        # evaluation order of BatchNorm2d.forward's closure:
+        # gx = ((g_xhat - sum_g/n) - (x_hat*sum_gx)/n) * inv_std.
+        m = self.module
+        c = self.c
+        g = gbufs[self.out_slot]
+        tmp, tmp2 = self._tmp, self._tmp2
+        if m.weight.requires_grad:
+            np.multiply(g, self._xhat, out=tmp)
+            _set_grad(m.weight, tmp.sum(axis=(0, 2, 3)))
+        if m.bias.requires_grad:
+            _set_grad(m.bias, g.sum(axis=(0, 2, 3)))
+        gin = gbufs[self.in_slot]
+        if gin is not None:
+            np.multiply(g, m.weight.data.reshape(1, c, 1, 1), out=tmp)  # g_xhat
+            # Full backward through the batch statistics (train plans
+            # always use batch stats — mirrors BatchNorm2d.forward).
+            sum_g = tmp.sum(axis=(0, 2, 3), keepdims=True)
+            np.multiply(tmp, self._xhat, out=tmp2)
+            sum_gx = tmp2.sum(axis=(0, 2, 3), keepdims=True)
+            tmp -= sum_g / self.n_elem
+            np.multiply(self._xhat, sum_gx, out=tmp2)
+            tmp2 /= self.n_elem
+            tmp -= tmp2
+            tmp *= self._inv_std.reshape(1, c, 1, 1)
+            gin += tmp
+
+
+class ReluStep:
+    """Standalone ReLU (the fusable ones are folded into conv/add)."""
+
+    def __init__(self, in_slot, out_slot, in_shape, training: bool) -> None:
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.out_shape = tuple(in_shape)
+        self.out = np.empty(self.out_shape, np.float32)
+        self._mask = np.empty(self.out_shape, bool) if training else None
+        self._tmp = np.empty(self.out_shape, np.float32) if training else None
+
+    def forward(self, env) -> None:
+        np.maximum(env[self.in_slot], 0.0, out=self.out)
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:
+        gin = gbufs[self.in_slot]
+        if gin is None:
+            return
+        np.greater(self.out, 0.0, out=self._mask)
+        np.multiply(gbufs[self.out_slot], self._mask, out=self._tmp)
+        gin += self._tmp
+
+
+class AddStep:
+    """Elementwise add (residual join), with optional fused ReLU."""
+
+    def __init__(self, a_slot, b_slot, out_slot, in_shape, fuse_relu, training) -> None:
+        self.a_slot, self.b_slot, self.out_slot = a_slot, b_slot, out_slot
+        self.fuse_relu = fuse_relu
+        self.out_shape = tuple(in_shape)
+        n, c, h, w = in_shape
+        # Residual adds sit between conv outputs (channel-major memory)
+        # and the next block's batch-norm reduction; allocating the
+        # buffer in the same memory order autograd's ufunc picks keeps
+        # batched statistics bit-identical (trivial for n == 1).
+        self.out = np.empty((c, n, h, w), np.float32).transpose(1, 0, 2, 3)
+        self._mask = np.empty(self.out_shape, bool) if (training and fuse_relu) else None
+        self._gpre = np.empty(self.out_shape, np.float32) if (training and fuse_relu) else None
+
+    def forward(self, env) -> None:
+        np.add(env[self.a_slot], env[self.b_slot], out=self.out)
+        if self.fuse_relu:
+            np.maximum(self.out, 0.0, out=self.out)
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:
+        g = gbufs[self.out_slot]
+        if self.fuse_relu:
+            np.greater(self.out, 0.0, out=self._mask)
+            np.multiply(g, self._mask, out=self._gpre)
+            g = self._gpre
+        for slot in (self.a_slot, self.b_slot):
+            gin = gbufs[slot]
+            if gin is not None:
+                gin += g
+
+
+class ConcatStep:
+    """Channel concatenation into a preallocated buffer."""
+
+    def __init__(self, in_slots, out_slot, in_shapes, training) -> None:
+        axis_sizes = [s[1] for s in in_shapes]
+        n, _, h, w = in_shapes[0]
+        for s in in_shapes:
+            if (s[0], s[2], s[3]) != (n, h, w):
+                raise UntraceableError("concat inputs disagree on non-channel dims")
+        self.in_slots = tuple(in_slots)
+        self.out_slot = out_slot
+        self.offsets = np.cumsum([0] + axis_sizes)
+        self.out_shape = (n, int(sum(axis_sizes)), h, w)
+        # Match np.concatenate's layout choice for channel-major inputs
+        # (the conv/add outputs feeding the Figure-3b skips), so the
+        # consuming batch-norm reduces memory in autograd's order and
+        # batched outputs stay bit-identical (trivial for n == 1).
+        ctot = int(sum(axis_sizes))
+        self.out = np.empty((ctot, n, h, w), np.float32).transpose(1, 0, 2, 3)
+
+    def forward(self, env) -> None:
+        for slot, lo, hi in zip(self.in_slots, self.offsets[:-1], self.offsets[1:]):
+            self.out[:, lo:hi] = env[slot]
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:
+        g = gbufs[self.out_slot]
+        for slot, lo, hi in zip(self.in_slots, self.offsets[:-1], self.offsets[1:]):
+            gin = gbufs[slot]
+            if gin is not None:
+                gin += g[:, lo:hi]
+
+
+class Upsample2xStep:
+    """Nearest-neighbour 2x upsampling through a strided view."""
+
+    def __init__(self, in_slot, out_slot, in_shape, training) -> None:
+        n, c, h, w = in_shape
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.out_shape = (n, c, 2 * h, 2 * w)
+        self.out = np.empty(self.out_shape, np.float32)
+        self._view6 = self.out.reshape(n, c, h, 2, w, 2)
+        self._grid = (n, c, h, 2, w, 2)
+        self._gsum = np.empty(in_shape, np.float32) if training else None
+
+    def forward(self, env) -> None:
+        self._view6[...] = env[self.in_slot][:, :, :, None, :, None]
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:
+        gin = gbufs[self.in_slot]
+        if gin is not None:
+            gbufs[self.out_slot].reshape(self._grid).sum(axis=(3, 5), out=self._gsum)
+            gin += self._gsum

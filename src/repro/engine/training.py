@@ -1,0 +1,183 @@
+"""Compiled train step: fused forward + backward for Algorithm 1.
+
+Partial distillation freezes the student's front-end, so each of the
+up-to-``MAX_UPDATES`` optimisation steps per key frame only needs
+forward + backward over the trainable back-end — the forward-pass twin
+of the paper's ``PartialBackward``.  This module compiles exactly that:
+the back-end forward (traced once per geometry, same kernel set as the
+inference plans but built with ``training=True``) plus hand-lowered
+backward kernels and the LVS-weighted cross-entropy head.
+
+The step writes gradients straight into ``Parameter.grad`` (scratch
+views — no per-step gradient allocation), so the existing optimizers
+work unchanged.  Every kernel mirrors its autograd twin's operation
+order, which makes compiled *partial* distillation bit-identical to
+the define-by-run loop; the parity tests in
+``tests/test_engine_training.py`` assert this end to end.
+
+Full distillation compiles the same way with the whole forward as the
+traced function (gradient flow into the frame input is skipped because
+inputs are roots, exactly as ``requires_grad=False`` does in autograd).
+Full mode is numerically *close* rather than bitwise: the Figure-3b
+skip tensors have three gradient consumers, and float32 summation
+order across three terms is not associative — autograd's topological
+order and the reversed-step order here disagree in the last ulp, which
+chaotic online optimisation then amplifies.  For that reason the
+trainer only uses the compiled full-mode step behind the
+``REPRO_ENGINE_FULL`` opt-in (see :func:`repro.engine.full_train_enabled`):
+the reproduction's published full-distillation numbers must not depend
+on the engine flag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.compiler import CompiledPlan, build_steps, trace_forward
+from repro.engine.kernels import UntraceableError
+
+
+class CrossEntropyHead:
+    """LVS-weighted softmax cross-entropy, mirrored from
+    :func:`repro.autograd.functional.cross_entropy` op for op."""
+
+    def __init__(self, logits_shape: Tuple[int, ...]) -> None:
+        n, c, h, w = logits_shape
+        self.shape = logits_shape
+        self.hw = h * w
+        self._shifted = np.empty(logits_shape, np.float32)
+        self._exp = np.empty(logits_shape, np.float32)
+        self._softmax = np.empty(logits_shape, np.float32)
+        self._gflat = np.zeros((n, c, self.hw), np.float32)
+        self._idx: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._norm = 1.0
+
+    def forward(
+        self, logits: np.ndarray, target: np.ndarray, weight_map: Optional[np.ndarray]
+    ) -> float:
+        n, c, h, w = self.shape
+        target = np.asarray(target)
+        if target.shape != (n, h, w):
+            raise ValueError(f"target shape {target.shape} != {(n, h, w)}")
+        m = logits.max(axis=1, keepdims=True)
+        np.subtract(logits, m, out=self._shifted)
+        np.exp(self._shifted, out=self._exp)
+        denom = self._exp.sum(axis=1, keepdims=True)
+        np.divide(self._exp, denom, out=self._softmax)
+        logp = self._shifted
+        logp -= np.log(denom)
+        flat = logp.reshape(n, c, self.hw)
+        idx = target.reshape(n, self.hw)
+        gathered = np.take_along_axis(flat, idx[:, None, :], axis=1)[:, 0, :]
+        if weight_map is None:
+            weights = np.ones((n, self.hw), dtype=np.float32)
+        else:
+            weights = np.asarray(weight_map, dtype=np.float32).reshape(n, self.hw)
+        norm = float(weights.sum())
+        loss = np.asarray(-(gathered * weights).sum() / norm, dtype=np.float32)
+        self._idx, self._weights, self._norm = idx, weights, norm
+        return float(loss)
+
+    def backward(self, gout: np.ndarray) -> None:
+        """Write dloss/dlogits into ``gout`` (the logits grad buffer)."""
+        n, c, h, w = self.shape
+        gflat = self._gflat
+        gflat.fill(0.0)
+        np.put_along_axis(
+            gflat, self._idx[:, None, :], (-self._weights / self._norm)[:, None, :], axis=1
+        )
+        g4 = gflat.reshape(n, c, h, w)
+        s = g4.sum(axis=1, keepdims=True)
+        np.multiply(self._softmax, s, out=gout)
+        np.subtract(g4, gout, out=gout)
+
+
+class CompiledTrainStep:
+    """One fused optimisation step: forward, loss, backward.
+
+    ``run(inputs, target, weight_map)`` executes the compiled forward on
+    the (cached) input features, evaluates the weighted cross-entropy,
+    and back-propagates through the compiled kernels, installing
+    gradients on the trainable parameters.  Returns the loss value.
+
+    The caller owns ``optimizer.zero_grad()`` / ``optimizer.step()``,
+    exactly as with the autograd loop.
+    """
+
+    weight_static = False
+
+    def __init__(self, fn: Callable, example_inputs: Sequence[np.ndarray]) -> None:
+        records, inputs, outputs = trace_forward(fn, example_inputs)
+        if len(outputs) != 1:
+            raise UntraceableError("train step expects a single logits output")
+        steps, shapes, input_slots, output_slots = build_steps(
+            records, inputs, outputs, training=True
+        )
+        self._logits_slot = output_slots[0]
+        if self._logits_slot in input_slots:
+            raise UntraceableError("train step traced an identity forward")
+        # Compose the forward executor instead of re-implementing it:
+        # the train step is a CompiledPlan plus gradient buffers, the
+        # loss head, and deferred batch-norm commits.
+        self._plan = CompiledPlan(steps, shapes, input_slots, output_slots)
+        self._steps = steps
+        # Gradient buffers exist only for produced slots; roots (cached
+        # front-end features or the raw frame) never need gradients —
+        # the freeze boundary in array form.
+        produced = {step.out_slot for step in steps}
+        self._gbufs: List[Optional[np.ndarray]] = [
+            np.zeros(shapes[i], np.float32) if i in produced else None
+            for i in range(len(shapes))
+        ]
+        self._loss = CrossEntropyHead(shapes[self._logits_slot])
+        self.num_kernels = len(steps)
+        self._bn_steps = [s for s in steps if hasattr(s, "commit_running_stats")]
+        #: True when forward state (activations, saved columns, pending
+        #: BN statistics) is valid and awaiting finish_step().
+        self.has_pending_forward = False
+
+    def forward_only(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Run the compiled forward; returns the logits buffer.
+
+        Running-stat commits are deferred: a forward used only to score
+        the post-update metric leaves no trace on the module (exactly
+        like the seed loop's separate eval predict), while a forward
+        that proceeds to :meth:`finish_step` commits — so the merged
+        metric/train forward halves the loop's forward count without
+        perturbing state.
+        """
+        (logits,) = self._plan.run(*inputs)
+        self.has_pending_forward = True
+        return logits
+
+    def finish_step(
+        self, target: np.ndarray, weight_map: Optional[np.ndarray]
+    ) -> float:
+        """Commit the pending forward as a training step: running stats,
+        loss, and gradients (installed on the trainable parameters)."""
+        if not self.has_pending_forward:
+            raise RuntimeError("finish_step() without a pending forward")
+        for bn in self._bn_steps:
+            bn.commit_running_stats()
+        env = self._plan._env
+        loss = self._loss.forward(env[self._logits_slot], target, weight_map)
+        for g in self._gbufs:
+            if g is not None:
+                g.fill(0.0)
+        self._loss.backward(self._gbufs[self._logits_slot])
+        for step in reversed(self._steps):
+            step.backward(env, self._gbufs)
+        self.has_pending_forward = False
+        return loss
+
+    def run(
+        self,
+        inputs: Sequence[np.ndarray],
+        target: np.ndarray,
+        weight_map: Optional[np.ndarray],
+    ) -> float:
+        self.forward_only(inputs)
+        return self.finish_step(target, weight_map)

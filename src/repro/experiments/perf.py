@@ -1,0 +1,209 @@
+"""Wall-clock performance benchmark for the compiled engine.
+
+Measures the Table-3 partial-distillation protocol (one LVS category
+stream, student width 0.5) end to end on the real clock, twice: once on
+the seed autograd path (engine disabled) and once through the compiled
+engine.  Also measures per-frame predict latency and per-step
+distillation latency in isolation, and verifies that engine predictions
+are argmax-identical to the autograd path on the benchmark frames.
+
+Records append to ``BENCH_PERF.json`` at the repo root (one timestamped
+entry per run), so successive PRs can diff the throughput trajectory:
+
+    PYTHONPATH=src python scripts/bench_perf.py --frames 250
+
+``benchmarks/test_perf_engine.py`` runs the same measurement inside the
+benchmark suite and enforces the >= 3x speedup floor.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import engine
+from repro.distill.config import DistillConfig
+from repro.distill.trainer import StudentTrainer
+from repro.models.teacher import OracleTeacher
+from repro.runtime.client import Client
+from repro.runtime.server import Server
+from repro.runtime.session import SessionConfig, pretrained_student
+from repro.video.dataset import LVS_CATEGORIES, make_category_video
+
+#: Default location of the perf trajectory log (repo root).
+DEFAULT_RESULTS_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_PERF.json"
+
+_FRAME_HW: Tuple[int, int] = (64, 96)
+
+
+def _category(key: str):
+    for spec in LVS_CATEGORIES:
+        if spec.key == key:
+            return spec
+    raise KeyError(f"unknown LVS category {key!r}")
+
+
+def _materialise_frames(spec, num_frames: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    video = make_category_video(spec, height=_FRAME_HW[0], width=_FRAME_HW[1])
+    video.reset()
+    return list(video.frames(num_frames))
+
+
+def _run_system(frames, config: SessionConfig) -> Tuple[float, object]:
+    """One full ShadowTutor partial run over pre-rendered frames."""
+    server_student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, _FRAME_HW
+    )
+    client_student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, _FRAME_HW
+    )
+    server = Server(server_student, OracleTeacher(), config.distill, config.sizes)
+    client = Client(
+        client_student, server, config.distill,
+        latency=config.latency, network=config.network, sizes=config.sizes,
+    )
+    start = time.perf_counter()
+    stats = client.run(iter(frames), label="bench")
+    return time.perf_counter() - start, stats
+
+
+def _predict_latency_ms(frames, width: float, pretrain_steps: int, repeats: int = 30) -> float:
+    student = pretrained_student(width, 0, pretrain_steps, _FRAME_HW)
+    student.eval()
+    frame = frames[0][0]
+    student.predict(frame)  # warm-up (plan compile on the engine path)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        student.predict(frame)
+    return 1000 * (time.perf_counter() - start) / repeats
+
+
+def _distill_step_latency_ms(frames, width: float, pretrain_steps: int) -> float:
+    """Mean wall time per Algorithm-1 optimisation step (incl. the
+    per-step metric evaluation, as in the live system)."""
+    student = pretrained_student(width, 0, pretrain_steps, _FRAME_HW)
+    frame, label = frames[0]
+    trainer = StudentTrainer(
+        student, DistillConfig(max_updates=8, threshold=0.999)
+    )
+    trainer.train(frame, label)  # warm-up
+    start = time.perf_counter()
+    result = trainer.train(frame, label)
+    elapsed = time.perf_counter() - start
+    return 1000 * elapsed / max(result.steps, 1)
+
+
+def _argmax_equivalence(frames, width: float, pretrain_steps: int, limit: int = 50) -> Tuple[bool, int]:
+    """Engine predictions must be bit-identical in argmax to autograd."""
+    student = pretrained_student(width, 0, pretrain_steps, _FRAME_HW)
+    student.eval()
+    checked = 0
+    for frame, _ in frames[:limit]:
+        got = student.predict(frame)
+        with engine.disabled():
+            ref = student.predict(frame)
+        if not np.array_equal(got, ref):
+            return False, checked
+        checked += 1
+    return True, checked
+
+
+def measure_engine_speedup(
+    num_frames: int = 250,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 80,
+) -> Dict:
+    """Run the full benchmark; returns one BENCH_PERF record."""
+    spec = _category(category)
+    frames = _materialise_frames(spec, num_frames)
+    config = SessionConfig(student_width=width, pretrain_steps=pretrain_steps)
+    # Shared one-time costs (pre-training) are warmed outside the timers.
+    pretrained_student(width, config.student_seed, pretrain_steps, _FRAME_HW)
+
+    previous = engine.set_enabled(False)
+    try:
+        seed_wall, seed_stats = _run_system(frames, config)
+        seed_predict_ms = _predict_latency_ms(frames, width, pretrain_steps)
+        seed_step_ms = _distill_step_latency_ms(frames, width, pretrain_steps)
+        engine.set_enabled(True)
+        engine_wall, engine_stats = _run_system(frames, config)
+        engine_predict_ms = _predict_latency_ms(frames, width, pretrain_steps)
+        engine_step_ms = _distill_step_latency_ms(frames, width, pretrain_steps)
+        identical, frames_checked = _argmax_equivalence(frames, width, pretrain_steps)
+    finally:
+        # Restore the caller's flag even if a measurement raises, so a
+        # failed benchmark cannot flip the engine for the rest of the
+        # process (e.g. later tests in the same pytest session).
+        engine.set_enabled(previous)
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "protocol": {
+            "table": 3,
+            "scheme": "partial",
+            "category": category,
+            "num_frames": num_frames,
+            "student_width": width,
+            "frame_hw": list(_FRAME_HW),
+            "pretrain_steps": pretrain_steps,
+        },
+        "seed_path": {
+            "wall_time_s": round(seed_wall, 3),
+            "wall_fps": round(num_frames / seed_wall, 3),
+            "predict_ms": round(seed_predict_ms, 3),
+            "distill_step_ms": round(seed_step_ms, 3),
+            "mean_miou": round(seed_stats.mean_miou, 6),
+        },
+        "engine_path": {
+            "wall_time_s": round(engine_wall, 3),
+            "wall_fps": round(num_frames / engine_wall, 3),
+            "predict_ms": round(engine_predict_ms, 3),
+            "distill_step_ms": round(engine_step_ms, 3),
+            "mean_miou": round(engine_stats.mean_miou, 6),
+        },
+        "speedup": round(seed_wall / engine_wall, 3),
+        "predict_speedup": round(seed_predict_ms / engine_predict_ms, 3),
+        "distill_step_speedup": round(seed_step_ms / engine_step_ms, 3),
+        "argmax_identical": identical,
+        "argmax_frames_checked": frames_checked,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def append_record(record: Dict, path: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Append ``record`` to the BENCH_PERF.json trajectory log."""
+    path = pathlib.Path(path) if path is not None else DEFAULT_RESULTS_PATH
+    records: List[Dict] = []
+    if path.exists():
+        records = json.loads(path.read_text())
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return path
+
+
+def format_record(record: Dict) -> str:
+    """One-paragraph human summary (printed by the CLI and benchmark)."""
+    seed, eng = record["seed_path"], record["engine_path"]
+    proto = record["protocol"]
+    return (
+        f"engine perf — {proto['category']} x{proto['num_frames']} frames, "
+        f"width {proto['student_width']}:\n"
+        f"  wall: {seed['wall_time_s']:.2f}s -> {eng['wall_time_s']:.2f}s "
+        f"({record['speedup']:.2f}x, {eng['wall_fps']:.1f} fps wall)\n"
+        f"  predict: {seed['predict_ms']:.2f}ms -> {eng['predict_ms']:.2f}ms "
+        f"({record['predict_speedup']:.2f}x)\n"
+        f"  distill step: {seed['distill_step_ms']:.2f}ms -> "
+        f"{eng['distill_step_ms']:.2f}ms ({record['distill_step_speedup']:.2f}x)\n"
+        f"  argmax identical on {record['argmax_frames_checked']} frames: "
+        f"{record['argmax_identical']}\n"
+    )

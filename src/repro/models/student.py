@@ -24,7 +24,7 @@ parameters at the default width, matching the paper's 21.4%.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -74,7 +74,6 @@ class StudentBlock(Module):
             self.project = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
         else:
             self.project = None
-            object.__setattr__(self, "project", None)
 
     def forward(self, x: Tensor) -> Tensor:
         y = self.bn(x)
@@ -111,6 +110,9 @@ class StudentNet(Module):
         c = {k: max(4, int(round(v * width))) for k, v in _BASE_CHANNELS.items()}
         self.num_classes = num_classes
         self.width = width
+        #: (kind, shapes) -> CompiledPlan | CompiledTrainStep | None;
+        #: cleared by Module.invalidate_plans.
+        self._engine_plans: dict = {}
 
         # Front-end (frozen under partial distillation).
         self.in1 = Conv2d(in_channels, c["in1"], 3, stride=2, rng=rng)
@@ -139,24 +141,97 @@ class StudentNet(Module):
         n, _, h, w = x.shape
         if h % 4 or w % 4:
             raise ValueError(f"input spatial dims ({h},{w}) must be divisible by 4")
+        return self.forward_back(*self.forward_front(x))
+
+    def forward_front(self, x: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """Frozen-front forward (in1..SB4); returns every feature map the
+        back-end consumes (SB1 and SB2 feed the Figure-3b skips).
+
+        Under partial distillation these activations are constant across
+        a key frame's optimisation steps, so the trainer computes them
+        once and reuses them (freeze-boundary activation caching).
+        """
         f1 = self.in1(x).relu()          # 1/2 res
         f2 = self.in2(f1).relu()         # 1/4 res
         s1 = self.sb1(f2)
         s2 = self.sb2(s1)
         s3 = self.sb3(s2)
         s4 = self.sb4(s3)
+        return s1, s2, s4
+
+    def forward_back(self, s1: Tensor, s2: Tensor, s4: Tensor) -> Tensor:
+        """Trainable back-end forward (SB5..out3) from front features."""
         s5 = self.sb5(Tensor.concat([s4, s2], axis=1))
         s6 = self.sb6(Tensor.concat([s5, s1], axis=1))
         y = self.out1(s6.upsample2x()).relu()   # 1/2 res
         y = self.out2(y.upsample2x()).relu()    # full res
         return self.out3(y)
 
+    # ------------------------------------------------------------------
+    # Compiled-engine integration
+    # ------------------------------------------------------------------
+    def engine_plan(self, kind: str, shapes: Tuple[Tuple[int, ...], ...]):
+        """Fetch (compiling on first use) the engine plan for a geometry.
+
+        ``kind`` selects the traced callable: ``"forward"`` (whole net),
+        ``"front"`` / ``"back"`` (either side of the freeze boundary),
+        or ``"train_back"`` / ``"train_full"`` (fused train steps).
+        Returns ``None`` when the engine is disabled or the geometry is
+        not compilable — callers fall back to the autograd path.  Failed
+        compilations are cached so the trace is not retried per frame.
+        """
+        from repro import engine
+
+        if not engine.is_enabled():
+            return None
+        key = (kind, shapes)
+        cache = self._engine_plans
+        if key in cache:
+            return cache[key]
+        from repro.engine.compiler import compile_plan
+        from repro.engine.kernels import UntraceableError
+        from repro.engine.training import CompiledTrainStep
+
+        fns = {
+            "forward": self.forward,
+            "front": self.forward_front,
+            "back": self.forward_back,
+            "train_back": self.forward_back,
+            "train_full": self.forward,
+        }
+        examples = tuple(np.zeros(shape, dtype=np.float32) for shape in shapes)
+        # Trace in eval mode: tracing runs one real forward, and doing it
+        # in train mode would perturb batch-norm running statistics.
+        was_training = self.training
+        self.eval()
+        try:
+            if kind.startswith("train"):
+                plan = CompiledTrainStep(fns[kind], examples)
+            else:
+                plan = compile_plan(fns[kind], examples)
+        except UntraceableError:
+            plan = None
+        finally:
+            self.train(was_training)
+        cache[key] = plan
+        return plan
+
     def predict(self, frame: np.ndarray) -> np.ndarray:
-        """Segment one ``(3, H, W)`` frame -> ``(H, W)`` class indices."""
+        """Segment one ``(3, H, W)`` frame -> ``(H, W)`` class indices.
+
+        Non-key-frame inference is the client's hot loop, so it routes
+        through the compiled engine plan (zero Tensor allocation); the
+        autograd path remains as fallback and produces identical argmax.
+        """
+        x = frame[None] if frame.ndim == 3 else frame
+        plan = self.engine_plan("forward", (tuple(x.shape),))
+        if plan is not None:
+            (logits,) = plan.run(x)
+            return logits.argmax(axis=1)[0]
         from repro.autograd.tensor import no_grad
 
         with no_grad():
-            logits = self.forward(Tensor(frame[None] if frame.ndim == 3 else frame))
+            logits = self.forward(Tensor(x))
         return logits.data.argmax(axis=1)[0]
 
 

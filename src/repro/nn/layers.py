@@ -20,6 +20,10 @@ class Conv2d(Module):
     Padding defaults to "same" for stride 1 (odd kernels).
     """
 
+    #: Recorded as a primitive by the engine's plan capture (the whole
+    #: layer lowers to one fused gather+GEMM kernel).
+    _engine_leaf = True
+
     def __init__(
         self,
         in_channels: int,
@@ -77,6 +81,10 @@ class BatchNorm2d(Module):
     with the just-distilled weights — the standard practice in
     test-time-adaptation systems.
     """
+
+    #: Recorded as a primitive by the engine's plan capture (the whole
+    #: layer lowers to one per-channel scale/shift kernel).
+    _engine_leaf = True
 
     def __init__(
         self,

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.engine import tracer as _tracer
 
 
 class Parameter(Tensor):
@@ -183,6 +184,39 @@ class Module:
             elif name in buffer_owners:
                 module, b_name = buffer_owners[name]
                 module.set_buffer(b_name, value)
+        # Loading rebinds parameter/buffer arrays: engine plans that read
+        # weights at execution time stay fresh automatically, but any
+        # weight-static plan must not survive the load.
+        self.invalidate_plans(weight_static_only=True)
+
+    # ------------------------------------------------------------------
+    # Compiled-engine plan cache
+    # ------------------------------------------------------------------
+    def invalidate_plans(self, weight_static_only: bool = False) -> None:
+        """Drop compiled engine plans cached on this module tree.
+
+        With ``weight_static_only`` (the ``load_state_dict`` /
+        ``apply_state_dict`` hook), only plans that captured weight
+        values at compile time are dropped.  The kernels built today
+        read parameters and buffers from the live modules at execution
+        time (``weight_static = False``), so routine weight updates cost
+        no recompilation; a full invalidation is available for
+        structural changes and tests.
+        """
+        for _, module in self.named_modules():
+            cache = getattr(module, "_engine_plans", None)
+            if not cache:
+                continue
+            if weight_static_only:
+                stale = [
+                    key
+                    for key, plan in cache.items()
+                    if plan is not None and getattr(plan, "weight_static", False)
+                ]
+                for key in stale:
+                    del cache[key]
+            else:
+                cache.clear()
 
     # ------------------------------------------------------------------
     # Call protocol
@@ -191,4 +225,15 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        out = self.forward(*args, **kwargs)
+        # Plan-capture hook: leaf layers (Conv2d, BatchNorm2d — marked
+        # with ``_engine_leaf``) report their calls to an active engine
+        # trace; composite modules contribute through their children.
+        if _tracer._ACTIVE is not None and getattr(self, "_engine_leaf", False):
+            _tracer._ACTIVE.record(
+                "module",
+                tuple(a for a in args if isinstance(a, Tensor)),
+                out,
+                module=self,
+            )
+        return out

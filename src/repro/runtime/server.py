@@ -67,6 +67,10 @@ class Server:
         teachers; neural teachers ignore it.
         """
         pseudo_label = self.teacher.infer(frame, label)
+        # Training may end with a rollback to the best checkpoint, which
+        # rebinds the trainable parameter arrays; the apply_state_dict
+        # inside the trainer drops weight-static engine plans, so the
+        # server-side student's compiled predicts never go stale.
         result = self.trainer.train(frame, pseudo_label)
         partial_payload = (
             self.trainer.trainable_fraction < 1.0

@@ -1,0 +1,204 @@
+"""Tests for the compiled inference engine (plan compiler + kernels)."""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.compiler import CompiledPlan, compile_plan
+from repro.engine.kernels import UntraceableError
+from repro.models.student import StudentNet
+from repro.nn.serialize import apply_state_dict, state_dict_diff
+
+
+def autograd_logits(student, x):
+    with engine.disabled(), no_grad():
+        return student.forward(Tensor(x)).data
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("width", [0.5, 1.0])
+    @pytest.mark.parametrize("batch", [None, 2])
+    def test_matches_autograd(self, rng, width, batch):
+        student = StudentNet(width=width, seed=3)
+        student.eval()
+        n = 1 if batch is None else batch
+        x = rng.normal(size=(n, 3, 32, 48)).astype(np.float32)
+        ref = autograd_logits(student, x)
+        plan = student.engine_plan("forward", (x.shape,))
+        assert plan is not None
+        (got,) = plan.run(x)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+    @pytest.mark.parametrize("hw", [(20, 28), (64, 96), (16, 16), (32, 44)])
+    def test_odd_geometries(self, rng, hw):
+        student = StudentNet(width=0.5, seed=7)
+        student.eval()
+        x = rng.normal(size=(1, 3) + hw).astype(np.float32)
+        ref = autograd_logits(student, x)
+        (got,) = student.engine_plan("forward", (x.shape,)).run(x)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+    def test_single_frame_is_bit_identical(self, rng):
+        # The hot path (one frame) must not drift at all: the benchmark
+        # asserts argmax equality against the autograd path per frame.
+        student = StudentNet(width=0.5, seed=11)
+        student.eval()
+        x = rng.normal(size=(1, 3, 64, 96)).astype(np.float32)
+        ref = autograd_logits(student, x)
+        (got,) = student.engine_plan("forward", (x.shape,)).run(x)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_predict_routes_through_engine_and_matches(self, rng):
+        student = StudentNet(width=0.5, seed=5)
+        student.eval()
+        frame = rng.normal(size=(3, 32, 48)).astype(np.float32)
+        with engine.disabled():
+            ref = student.predict(frame)
+        got = student.predict(frame)
+        np.testing.assert_array_equal(ref, got)
+        # The plan must now be cached for the frame geometry.
+        assert student.engine_plan("forward", ((1, 3, 32, 48),)) is not None
+
+    def test_front_back_split_composes_to_forward(self, rng):
+        student = StudentNet(width=0.5, seed=5)
+        student.eval()
+        x = rng.normal(size=(1, 3, 32, 48)).astype(np.float32)
+        front = student.engine_plan("front", (x.shape,))
+        feats = front.run(x)
+        feats = tuple(np.array(f, copy=True) for f in feats)
+        back = student.engine_plan("back", tuple(f.shape for f in feats))
+        (got,) = back.run(*feats)
+        np.testing.assert_allclose(got, autograd_logits(student, x), atol=1e-5)
+
+
+class TestPlanMechanics:
+    def test_disabled_engine_returns_no_plan(self, rng):
+        student = StudentNet(width=0.25, seed=0)
+        with engine.disabled():
+            assert student.engine_plan("forward", ((1, 3, 16, 16),)) is None
+
+    def test_run_validates_shapes(self, rng):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        plan = student.engine_plan("forward", ((1, 3, 16, 16),))
+        with pytest.raises(ValueError):
+            plan.run(np.zeros((1, 3, 32, 32), np.float32))
+        with pytest.raises(ValueError):
+            plan.run()
+
+    def test_untraceable_callable_raises(self):
+        def fn(x):
+            return x.sigmoid()  # no kernel / no hook for sigmoid
+
+        with pytest.raises(UntraceableError):
+            compile_plan(fn, (np.zeros((1, 2, 4, 4), np.float32),))
+
+    def test_failed_compiles_are_cached_as_none(self, monkeypatch, rng):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+
+        calls = []
+        import repro.engine.compiler as compiler_mod
+
+        original = compiler_mod.compile_plan
+
+        def counting(fn, examples):
+            calls.append(1)
+            raise UntraceableError("forced")
+
+        monkeypatch.setattr(compiler_mod, "compile_plan", counting)
+        assert student.engine_plan("forward", ((1, 3, 16, 16),)) is None
+        assert student.engine_plan("forward", ((1, 3, 16, 16),)) is None
+        assert len(calls) == 1  # the trace is not retried per frame
+        monkeypatch.setattr(compiler_mod, "compile_plan", original)
+
+    def test_plan_buffers_reused_between_runs(self, rng):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        plan = student.engine_plan("forward", ((1, 3, 16, 16),))
+        a = plan.run(rng.normal(size=(1, 3, 16, 16)).astype(np.float32))[0]
+        first = a.copy()
+        b = plan.run(rng.normal(size=(1, 3, 16, 16)).astype(np.float32))[0]
+        assert a is b  # same scratch buffer: callers copy if they keep it
+        assert not np.array_equal(first, b)
+
+
+class TestInvalidation:
+    """apply_state_dict / load_state_dict must never leave stale plans."""
+
+    def test_engine_fresh_after_apply_state_dict(self, rng):
+        student = StudentNet(width=0.5, seed=1)
+        donor = StudentNet(width=0.5, seed=99)
+        student.eval()
+        donor.eval()
+        x = rng.normal(size=(1, 3, 32, 48)).astype(np.float32)
+        plan = student.engine_plan("forward", (x.shape,))
+        before = plan.run(x)[0].copy()
+
+        update = state_dict_diff(donor, trainable_only=False)
+        apply_state_dict(student, update)
+
+        plan_after = student.engine_plan("forward", (x.shape,))
+        got = plan_after.run(x)[0]
+        ref = autograd_logits(student, x)
+        np.testing.assert_array_equal(got, ref)
+        assert not np.allclose(before, got)  # genuinely new weights
+
+    def test_engine_fresh_after_load_state_dict(self, rng):
+        student = StudentNet(width=0.5, seed=1)
+        donor = StudentNet(width=0.5, seed=42)
+        student.eval()
+        x = rng.normal(size=(1, 3, 32, 48)).astype(np.float32)
+        student.engine_plan("forward", (x.shape,)).run(x)
+        student.load_state_dict(donor.state_dict())
+        got = student.engine_plan("forward", (x.shape,)).run(x)[0]
+        np.testing.assert_array_equal(got, autograd_logits(student, x))
+
+    def test_engine_fresh_after_inplace_optimizer_update(self, rng):
+        # Adam mutates parameter arrays in place between metric predicts.
+        student = StudentNet(width=0.5, seed=1)
+        student.eval()
+        x = rng.normal(size=(1, 3, 32, 48)).astype(np.float32)
+        plan = student.engine_plan("forward", (x.shape,))
+        plan.run(x)
+        for p in student.parameters():
+            p.data -= 0.05 * rng.normal(size=p.data.shape).astype(np.float32)
+        np.testing.assert_array_equal(plan.run(x)[0], autograd_logits(student, x))
+
+    def test_weight_static_plans_are_dropped_on_apply(self):
+        student = StudentNet(width=0.25, seed=0)
+
+        class DummyStatic:
+            weight_static = True
+
+        class DummyDynamic:
+            weight_static = False
+
+        student._engine_plans[("static", ())] = DummyStatic()
+        dynamic = DummyDynamic()
+        student._engine_plans[("dynamic", ())] = dynamic
+        apply_state_dict(student, {})
+        assert ("static", ()) not in student._engine_plans
+        # Weight-dynamic plans survive routine updates (no recompiles in
+        # the steady-state loop).
+        assert student._engine_plans[("dynamic", ())] is dynamic
+
+    def test_full_invalidation_clears_cache(self):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        student.engine_plan("forward", ((1, 3, 16, 16),))
+        assert student._engine_plans
+        student.invalidate_plans()
+        assert not student._engine_plans
+
+
+class TestCompiledPlanDirect:
+    def test_compile_plan_on_plain_callable(self, rng):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        plan = compile_plan(student.forward, (x,))
+        assert isinstance(plan, CompiledPlan)
+        assert plan.weight_static is False
+        np.testing.assert_allclose(plan.run(x)[0], autograd_logits(student, x), atol=1e-5)
