@@ -18,6 +18,8 @@ from repro.runtime.server import Server
 from repro.runtime.session import pretrained_student
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+pytestmark = pytest.mark.slow
+
 #: Freeze points: top-level module names frozen (a front prefix).
 FREEZE_POINTS = {
     "none (full)": (),

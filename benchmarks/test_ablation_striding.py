@@ -18,6 +18,8 @@ from repro.striding.adaptive import AdaptiveStride
 from repro.striding.baselines import ExponentialBackoffStride, FixedStride
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+pytestmark = pytest.mark.slow
+
 
 def _run_policy(policy_factory, scale, spec_key="moving-people"):
     spec = CATEGORY_BY_KEY[spec_key]

@@ -12,6 +12,8 @@ from repro.distill.config import DistillConfig
 from repro.runtime.session import SessionConfig, run_shadowtutor
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+pytestmark = pytest.mark.slow
+
 
 def _run(threshold, max_updates, scale):
     spec = CATEGORY_BY_KEY["fixed-animals"]

@@ -13,6 +13,8 @@ import pytest
 
 from repro.experiments.figures import figure4_bandwidth_sweep
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4_bandwidth_sweep(benchmark, scale, results_sink):

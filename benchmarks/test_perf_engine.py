@@ -17,6 +17,8 @@ from repro.experiments.perf import (
     measure_engine_speedup,
 )
 
+pytestmark = pytest.mark.perf
+
 
 @pytest.mark.benchmark(group="perf_engine")
 def test_engine_speedup(scale, results_sink):

@@ -17,6 +17,8 @@ from repro.runtime.naive import NaiveOffloadClient
 from repro.runtime.session import SessionConfig, run_shadowtutor
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+pytestmark = pytest.mark.slow
+
 
 def _shadow(network, scale):
     spec = CATEGORY_BY_KEY["moving-people"]

@@ -10,6 +10,8 @@ import pytest
 from repro.experiments.report import format_table
 from repro.experiments.tables import table2_distillation
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table2")
 def test_table2_distillation(benchmark, scale, results_sink):

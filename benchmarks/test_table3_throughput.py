@@ -11,6 +11,8 @@ import pytest
 from repro.experiments.report import format_table
 from repro.experiments.tables import table3_throughput
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_throughput(benchmark, scale, results_sink):

@@ -13,6 +13,8 @@ from repro.analytic.planner import paper_params
 from repro.experiments.report import format_table
 from repro.experiments.tables import table5_traffic
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table5")
 def test_table5_traffic(benchmark, scale, results_sink):

@@ -11,6 +11,8 @@ import pytest
 from repro.experiments.report import format_table
 from repro.experiments.tables import table6_accuracy
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table6")
 def test_table6_accuracy(benchmark, scale, results_sink):

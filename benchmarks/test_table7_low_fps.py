@@ -11,6 +11,8 @@ import pytest
 from repro.experiments.report import format_table
 from repro.experiments.tables import table6_accuracy, table7_low_fps
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table7")
 def test_table7_low_fps(benchmark, scale, results_sink):

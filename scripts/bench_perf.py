@@ -11,10 +11,17 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py [--frames 250]
         [--width 0.5] [--category fixed-animals] [--output BENCH_PERF.json]
 
+``--pool N`` switches to the multi-session serving benchmark instead:
+N sessions of one stream served by the cooperative pool (batched
+predicts + memoised distillation) against the same N sessions run
+sequentially, recording pooled frames/sec, the amortisation route
+counters, and the bit-identity check.
+
 Each invocation appends one timestamped record, so the file accumulates
 the throughput trajectory across PRs.  The benchmark suite
-(``benchmarks/test_perf_engine.py``) uses the same measurement and
-enforces the >= 3x floor.
+(``benchmarks/test_perf_engine.py``, ``benchmarks/test_perf_pool.py``)
+uses the same measurements and enforces the >= 3x engine and >= 2x
+pooled-serving floors.
 """
 
 import argparse
@@ -26,28 +33,45 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments.perf import (  # noqa: E402
     DEFAULT_RESULTS_PATH,
     append_record,
+    format_pool_record,
     format_record,
     measure_engine_speedup,
+    measure_pool_throughput,
 )
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--frames", type=int, default=250)
+    parser.add_argument("--frames", type=int, default=None,
+                        help="frames per stream (default: 250, or 64 with --pool)")
     parser.add_argument("--width", type=float, default=0.5)
     parser.add_argument("--category", default="fixed-animals")
     parser.add_argument("--pretrain-steps", type=int, default=80)
+    parser.add_argument("--pool", type=int, default=None, metavar="N",
+                        help="benchmark the serving pool with N sessions "
+                             "of one stream instead of the engine speedup")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_RESULTS_PATH)
     args = parser.parse_args()
 
-    record = measure_engine_speedup(
-        num_frames=args.frames,
-        width=args.width,
-        category=args.category,
-        pretrain_steps=args.pretrain_steps,
-    )
+    if args.pool is not None:
+        record = measure_pool_throughput(
+            num_sessions=args.pool,
+            num_frames=args.frames or 64,
+            width=args.width,
+            category=args.category,
+            pretrain_steps=args.pretrain_steps,
+        )
+        summary = format_pool_record(record)
+    else:
+        record = measure_engine_speedup(
+            num_frames=args.frames or 250,
+            width=args.width,
+            category=args.category,
+            pretrain_steps=args.pretrain_steps,
+        )
+        summary = format_record(record)
     path = append_record(record, args.output)
-    print(format_record(record))
+    print(summary)
     print(f"appended record to {path}")
     return 0
 

@@ -284,6 +284,47 @@ def section_perf():
     )
 
 
+def section_serving():
+    """Sessions-per-box scaling of the multi-session serving pool.
+
+    Runs the fan-out scenario (N sessions of one stream) at N = 1, 4,
+    16 and tabulates pooled frames/sec against the same N sessions run
+    sequentially.  N = 1 is the degenerate pool (``run_shadowtutor``
+    itself), so its speedup is the pool's orchestration overhead.
+    """
+    from repro.experiments.perf import measure_pool_throughput
+
+    frames = int(os.environ.get("REPRO_POOL_FRAMES", "48"))
+    rows = []
+    for n in (1, 4, 16):
+        rec = measure_pool_throughput(num_sessions=n, num_frames=frames)
+        counters = rec["pool"]["counters"]
+        rows.append([
+            n,
+            f2(rec["sequential"]["frames_per_s"]),
+            f2(rec["pool"]["frames_per_s"]),
+            f2(rec["speedup"]),
+            counters.get("deduped_frames", 0) + counters.get("batched_frames", 0),
+            counters.get("distill_hits", 0),
+            "yes" if rec["pool_bit_identical"] else "NO",
+        ])
+    table = md_table(
+        ["sessions", "sequential f/s", "pooled f/s", "speedup",
+         "shared predicts", "shared distills", "bit-identical"],
+        rows,
+    )
+    return (
+        "## Serving — sessions-per-box scaling\n\n" + table +
+        f"\n\nFan-out scenario: N sessions of one {frames}-frame stream "
+        "(width 0.5) served by the cooperative session pool — batched "
+        "`n > 1` compiled predicts for weight-identical sessions, "
+        "duplicate frames served once, key-frame distillation memoised "
+        "across identical submissions.  Every pooled session's RunStats "
+        "is bit-identical to its sequential twin (enforced by "
+        "`tests/test_serving_pool.py` and `benchmarks/test_perf_pool.py`).\n"
+    )
+
+
 def main() -> None:
     scale = default_scale()
     t0 = time.time()
@@ -309,6 +350,7 @@ def main() -> None:
         section_table7(scale),
         section_figure4(scale),
         section_perf(),
+        section_serving(),
         "## Bounds and planner (sections 5.3 / 6.2)\n\n"
         "| quantity | measured | paper |\n|---|---|---|\n",
     ]

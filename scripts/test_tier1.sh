@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: runs the repo's test suite exactly as
+# ROADMAP.md specifies.  Extra pytest arguments pass through, e.g.
+#   scripts/test_tier1.sh -m "not perf"     # skip wall-clock benchmarks
+#   scripts/test_tier1.sh tests/            # fast tier only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"

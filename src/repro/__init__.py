@@ -39,6 +39,7 @@ from repro.runtime import (
 )
 from repro.runtime.session import run_wild, pretrained_student
 from repro.segmentation import mean_iou
+from repro.serving import PoolResult, SessionPool, SessionSpec
 from repro.striding import AdaptiveStride, ExponentialBackoffStride, FixedStride
 from repro.video import (
     LVS_CATEGORIES,
@@ -77,6 +78,9 @@ __all__ = [
     "run_wild",
     "pretrained_student",
     "mean_iou",
+    "PoolResult",
+    "SessionPool",
+    "SessionSpec",
     "AdaptiveStride",
     "ExponentialBackoffStride",
     "FixedStride",

@@ -56,8 +56,13 @@ def build_steps(
     inputs: Tuple[Tensor, ...],
     outputs: Tuple[Tensor, ...],
     training: bool,
+    per_sample_stats: bool = False,
 ) -> Tuple[list, List[Tuple[int, ...]], List[int], List[int]]:
     """Lower trace records to kernel steps.
+
+    ``per_sample_stats`` builds batch-norm steps that compute their
+    batch statistics per sample (the multi-session serving semantics;
+    see :class:`~repro.engine.kernels.BatchNormStep`).
 
     Returns ``(steps, slot_shapes, input_slots, output_slots)``.
     """
@@ -114,11 +119,12 @@ def build_steps(
             if isinstance(module, Conv2d):
                 step = ConvStep(
                     module, in_slots[0], len(shapes), shapes[in_slots[0]],
-                    fuse_relu, training,
+                    fuse_relu, training, per_sample=per_sample_stats,
                 )
             elif isinstance(module, BatchNorm2d):
                 step = BatchNormStep(
-                    module, in_slots[0], len(shapes), shapes[in_slots[0]], training
+                    module, in_slots[0], len(shapes), shapes[in_slots[0]], training,
+                    per_sample=per_sample_stats,
                 )
             else:
                 raise UntraceableError(
@@ -198,10 +204,22 @@ class CompiledPlan:
         return tuple(env[s] for s in self._output_slots)
 
 
-def compile_plan(fn: Callable, example_inputs: Sequence[np.ndarray]) -> CompiledPlan:
-    """Compile ``fn`` (a model forward) for the example inputs' geometry."""
+def compile_plan(
+    fn: Callable,
+    example_inputs: Sequence[np.ndarray],
+    per_sample_stats: bool = False,
+) -> CompiledPlan:
+    """Compile ``fn`` (a model forward) for the example inputs' geometry.
+
+    ``per_sample_stats`` selects per-sample batch-norm statistics: the
+    serving layer uses it to compile *batched* plans (one ``n > 1``
+    forward over frames stacked from independent client sessions) whose
+    per-sample outputs are bit-identical to each session's own ``n = 1``
+    plan.  Callers cache batched and per-session plans under distinct
+    keys (plan kind + input shapes), so both coexist on one module.
+    """
     records, inputs, outputs = trace_forward(fn, example_inputs)
     steps, shapes, input_slots, output_slots = build_steps(
-        records, inputs, outputs, training=False
+        records, inputs, outputs, training=False, per_sample_stats=per_sample_stats
     )
     return CompiledPlan(steps, shapes, input_slots, output_slots)

@@ -11,9 +11,13 @@ Records append to ``BENCH_PERF.json`` at the repo root (one timestamped
 entry per run), so successive PRs can diff the throughput trajectory:
 
     PYTHONPATH=src python scripts/bench_perf.py --frames 250
+    PYTHONPATH=src python scripts/bench_perf.py --pool 16
 
-``benchmarks/test_perf_engine.py`` runs the same measurement inside the
-benchmark suite and enforces the >= 3x speedup floor.
+``measure_pool_throughput`` benchmarks the multi-session serving pool
+(fan-out scenario) against sequential single-session runs.
+``benchmarks/test_perf_engine.py`` / ``benchmarks/test_perf_pool.py``
+run the same measurements inside the benchmark suite and enforce the
+>= 3x engine and >= 2x pooled-serving floors.
 """
 
 from __future__ import annotations
@@ -29,10 +33,7 @@ import numpy as np
 from repro import engine
 from repro.distill.config import DistillConfig
 from repro.distill.trainer import StudentTrainer
-from repro.models.teacher import OracleTeacher
-from repro.runtime.client import Client
-from repro.runtime.server import Server
-from repro.runtime.session import SessionConfig, pretrained_student
+from repro.runtime.session import SessionConfig, build_session, pretrained_student
 from repro.video.dataset import LVS_CATEGORIES, make_category_video
 
 #: Default location of the perf trajectory log (repo root).
@@ -56,17 +57,7 @@ def _materialise_frames(spec, num_frames: int) -> List[Tuple[np.ndarray, np.ndar
 
 def _run_system(frames, config: SessionConfig) -> Tuple[float, object]:
     """One full ShadowTutor partial run over pre-rendered frames."""
-    server_student = pretrained_student(
-        config.student_width, config.student_seed, config.pretrain_steps, _FRAME_HW
-    )
-    client_student = pretrained_student(
-        config.student_width, config.student_seed, config.pretrain_steps, _FRAME_HW
-    )
-    server = Server(server_student, OracleTeacher(), config.distill, config.sizes)
-    client = Client(
-        client_student, server, config.distill,
-        latency=config.latency, network=config.network, sizes=config.sizes,
-    )
+    client = build_session(config, _FRAME_HW)
     start = time.perf_counter()
     stats = client.run(iter(frames), label="bench")
     return time.perf_counter() - start, stats
@@ -178,6 +169,113 @@ def measure_engine_speedup(
             "machine": platform.machine(),
         },
     }
+
+
+def measure_pool_throughput(
+    num_sessions: int = 16,
+    num_frames: int = 64,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 80,
+) -> Dict:
+    """Benchmark the multi-session serving pool (fan-out scenario).
+
+    ``num_sessions`` clients watch the *same* pre-rendered stream — the
+    broadcast case the pool is built to amortise: key-frame distillation
+    is memoised across sessions and non-key-frame predicts are served
+    once per distinct (weights, frame) pair, with the batched ``n > 1``
+    engine plan covering groups of distinct frames.  The baseline is the
+    same ``num_sessions`` sessions run sequentially, one full
+    single-session run each.  Per-session results are verified
+    bit-identical between the two paths and recorded in the output.
+    """
+    from repro.serving.pool import SessionPool, SessionSpec
+
+    spec = _category(category)
+    frames = _materialise_frames(spec, num_frames)
+    config = SessionConfig(student_width=width, pretrain_steps=pretrain_steps)
+    pretrained_student(width, config.student_seed, pretrain_steps, _FRAME_HW)
+
+    def make_specs():
+        return [
+            SessionSpec(frames=frames, num_frames=num_frames, config=config)
+            for _ in range(num_sessions)
+        ]
+
+    # Warm both paths outside the timers (plan compiles, caches).
+    _run_system(frames[: min(8, num_frames)], config)
+    SessionPool(
+        [
+            SessionSpec(frames=frames, num_frames=min(8, num_frames), config=config)
+            for _ in range(num_sessions)
+        ]
+    ).run()
+
+    start = time.perf_counter()
+    sequential_stats = [_run_system(frames, config)[1] for _ in range(num_sessions)]
+    sequential_wall = time.perf_counter() - start
+
+    pool = SessionPool(make_specs())
+    start = time.perf_counter()
+    result = pool.run()
+    pool_wall = time.perf_counter() - start
+
+    identical = all(
+        a.signature(include_label=False) == b.signature(include_label=False)
+        for a, b in zip(result.stats, sequential_stats)
+    )
+    total_frames = num_sessions * num_frames
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kind": "pool",
+        "protocol": {
+            "scheme": "partial",
+            "category": category,
+            "num_sessions": num_sessions,
+            "num_frames": num_frames,
+            "student_width": width,
+            "frame_hw": list(_FRAME_HW),
+            "pretrain_steps": pretrain_steps,
+        },
+        "sequential": {
+            "wall_time_s": round(sequential_wall, 3),
+            "frames_per_s": round(total_frames / sequential_wall, 3),
+        },
+        "pool": {
+            "wall_time_s": round(pool_wall, 3),
+            "frames_per_s": round(total_frames / pool_wall, 3),
+            "counters": result.counters,
+        },
+        "speedup": round(sequential_wall / pool_wall, 3),
+        "pool_bit_identical": identical,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def format_pool_record(record: Dict) -> str:
+    """One-paragraph human summary of a pooled-serving record."""
+    proto = record["protocol"]
+    seq, pool = record["sequential"], record["pool"]
+    counters = pool["counters"]
+    return (
+        f"pool perf — {proto['num_sessions']} sessions x "
+        f"{proto['num_frames']} frames ({proto['category']}, width "
+        f"{proto['student_width']}):\n"
+        f"  wall: {seq['wall_time_s']:.2f}s sequential -> "
+        f"{pool['wall_time_s']:.2f}s pooled ({record['speedup']:.2f}x, "
+        f"{pool['frames_per_s']:.1f} frames/s)\n"
+        f"  routes: {counters.get('batched_frames', 0)} batched, "
+        f"{counters.get('deduped_frames', 0)} deduped, "
+        f"{counters.get('single_frames', 0)} single; distillation "
+        f"{counters.get('distill_hits', 0)} hits / "
+        f"{counters.get('distill_misses', 0)} misses\n"
+        f"  per-session stats bit-identical to sequential runs: "
+        f"{record['pool_bit_identical']}\n"
+    )
 
 
 def append_record(record: Dict, path: Optional[pathlib.Path] = None) -> pathlib.Path:

@@ -174,11 +174,15 @@ class StudentNet(Module):
         """Fetch (compiling on first use) the engine plan for a geometry.
 
         ``kind`` selects the traced callable: ``"forward"`` (whole net),
-        ``"front"`` / ``"back"`` (either side of the freeze boundary),
-        or ``"train_back"`` / ``"train_full"`` (fused train steps).
+        ``"serve"`` (whole net with per-sample batch-norm statistics —
+        the multi-session batched-inference semantics), ``"front"`` /
+        ``"back"`` (either side of the freeze boundary), or
+        ``"train_back"`` / ``"train_full"`` (fused train steps).
         Returns ``None`` when the engine is disabled or the geometry is
         not compilable — callers fall back to the autograd path.  Failed
         compilations are cached so the trace is not retried per frame.
+        Keys embed both kind and shapes, so a session's own ``n = 1``
+        plans and the serving pool's batched plans coexist in one cache.
         """
         from repro import engine
 
@@ -194,6 +198,7 @@ class StudentNet(Module):
 
         fns = {
             "forward": self.forward,
+            "serve": self.forward,
             "front": self.forward_front,
             "back": self.forward_back,
             "train_back": self.forward_back,
@@ -207,6 +212,8 @@ class StudentNet(Module):
         try:
             if kind.startswith("train"):
                 plan = CompiledTrainStep(fns[kind], examples)
+            elif kind == "serve":
+                plan = compile_plan(fns[kind], examples, per_sample_stats=True)
             else:
                 plan = compile_plan(fns[kind], examples)
         except UntraceableError:
@@ -233,6 +240,26 @@ class StudentNet(Module):
         with no_grad():
             logits = self.forward(Tensor(x))
         return logits.data.argmax(axis=1)[0]
+
+    def predict_batch(self, frames: np.ndarray) -> np.ndarray:
+        """Segment ``(n, 3, H, W)`` stacked frames -> ``(n, H, W)`` preds.
+
+        The serving pool's batched fast path: one compiled ``n > 1``
+        forward with per-sample batch-norm statistics, bit-identical per
+        sample to :meth:`predict` on each frame alone.  Falls back to a
+        per-frame :meth:`predict` loop (the exact single-session path)
+        when the engine is off or the geometry is not compilable.
+        """
+        x = np.ascontiguousarray(frames, dtype=np.float32)
+        if x.ndim != 4:
+            raise ValueError(f"predict_batch expects (n, c, h, w), got {x.shape}")
+        if x.shape[0] == 1:
+            return self.predict(x)[None]
+        plan = self.engine_plan("serve", (tuple(x.shape),))
+        if plan is not None:
+            (logits,) = plan.run(x)
+            return logits.argmax(axis=1)
+        return np.stack([self.predict(f) for f in x])
 
 
 def partial_freeze(student: StudentNet) -> float:

@@ -72,10 +72,18 @@ class Module:
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
-        """Update a registered buffer in place (keeps dict and attr in sync)."""
+        """Update a registered buffer (keeps dict and attr in sync).
+
+        The value is always copied: ``np.asarray`` on an already-float32
+        array is a no-copy view, which used to leave every module loaded
+        from a shared checkpoint (the pre-trained-student cache, a
+        server reply fanned out to several pooled sessions) *aliasing*
+        the source arrays — one session mutating its running statistics
+        in place would silently corrupt every other.
+        """
         if name not in self._buffers:
             raise KeyError(name)
-        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        self._buffers[name] = np.array(value, dtype=np.float32, copy=True)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ Algorithm 3).  This module computes those payloads and their sizes.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
 
@@ -19,6 +20,35 @@ from repro.nn.module import Module
 def clone_state_dict(state: Dict[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
     """Deep-copy a state dict (checkpointing in Algorithm 1)."""
     return OrderedDict((k, np.array(v, copy=True)) for k, v in state.items())
+
+
+def array_digest(array: np.ndarray, prev: str = "") -> str:
+    """Content digest of one array (shape + dtype + bytes), chained on
+    ``prev``.  The serving layer keys weight versions, frames and
+    pseudo-labels by these digests to decide which sessions may share
+    batched inference or memoised distillation work."""
+    h = hashlib.blake2b(prev.encode(), digest_size=16)
+    arr = np.ascontiguousarray(array)
+    h.update(str(arr.shape).encode())
+    h.update(arr.dtype.str.encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def state_dict_digest(state: Dict[str, np.ndarray], prev: str = "") -> str:
+    """Content digest of a state dict, chained on ``prev``.
+
+    Chaining makes weight *versions* cheap to maintain: a client whose
+    student starts at checkpoint digest ``d0`` and applies updates
+    ``u1, u2`` holds version ``H(H(d0, u1), u2)`` — equal versions imply
+    equal weights (same start, same deterministic update sequence)
+    without ever re-hashing the full model.
+    """
+    h = hashlib.blake2b(prev.encode(), digest_size=16)
+    for name in sorted(state):
+        h.update(name.encode())
+        h.update(array_digest(state[name]).encode())
+    return h.hexdigest()
 
 
 def param_bytes(arrays: Iterable[np.ndarray]) -> int:

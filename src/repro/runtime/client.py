@@ -14,6 +14,14 @@ its completion time determines whether the client ever blocks.  This is
 the "capable of full concurrency" end of the paper's t_c bounds
 (Eq. 2); the blocking wait at ``step == MIN_STRIDE`` realises the other
 end when the network is slow.
+
+Structure: the per-frame body is split into ``pre_predict`` (key-frame
+handling), the on-device predict, and ``post_predict`` (timing, update
+application, stats).  :meth:`Client.run` chains them over a stream —
+the single-session path — while the multi-session pool
+(:mod:`repro.serving`) drives the same three phases for many clients on
+a shared tick, injecting predictions from its batched predictor between
+the phases.  One orchestration, N = 1 or N = many.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from repro.distill.config import DistillConfig
 from repro.models.student import StudentNet
 from repro.network.messages import MessageSizes
 from repro.network.model import NetworkModel
-from repro.nn.serialize import apply_state_dict
+from repro.nn.serialize import apply_state_dict, state_dict_digest
 from repro.runtime.clock import LatencyModel, SimClock
 from repro.runtime.server import Server, ServerReply
 from repro.runtime.stats import FrameRecord, KeyFrameRecord, RunStats
@@ -84,7 +92,13 @@ class Client:
         #: Serialisation point of the uplink: a second key frame cannot
         #: start transferring before the previous transfer finished.
         self._uplink_free_at = 0.0
-        self._partial = server.config.mode.value == "partial"
+        #: Content-digest chain of the student's weights, maintained
+        #: only when the serving pool sets it (``None`` otherwise):
+        #: clients with equal versions provably hold equal weights and
+        #: may share one batched predict.
+        self.weight_version: Optional[str] = None
+        self._pending: Optional[_PendingUpdate] = None
+        self._stats: Optional[RunStats] = None
 
     def _transfer_time(self, nbytes: int, start: float) -> float:
         """Transfer duration honouring dynamic bandwidth schedules."""
@@ -106,7 +120,7 @@ class Client:
         # Real server-side computation happens here (teacher inference +
         # Algorithm 1); only its *timing* is modelled.
         reply, result = self.server.handle_key_frame(frame, label)
-        server_time = self.latency.t_ti + result.steps * self.latency.t_sd(self._partial)
+        server_time = self.server.service_time(result, self.latency)
         down_bytes = self.server.reply_bytes()
         down_start = up_done + server_time
         ready_at = down_start + self._transfer_time(down_bytes, down_start)
@@ -128,6 +142,10 @@ class Client:
         # the very next predict infers with the fresh weights — see
         # Module.invalidate_plans and the stale-weight regression test).
         apply_state_dict(self.student, pending.reply.update)
+        if self.weight_version is not None:
+            self.weight_version = state_dict_digest(
+                pending.reply.update, prev=self.weight_version
+            )
         old_stride = self.stride_policy.stride
         self.stride_policy.update(pending.reply.metric)
         self.trace.emit(
@@ -144,6 +162,101 @@ class Client:
             )
 
     # ------------------------------------------------------------------
+    # Stepwise run protocol (the pool drives these; run() chains them)
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "") -> None:
+        """Start a run episode: reset stride policy and per-run state."""
+        self._stats = RunStats(label=label)
+        self.stride_policy.reset()
+        self._stride = self.stride_policy.frames_to_next()
+        self._step = self._stride  # first frame is a key frame (Alg. 4 line 2)
+        self._pending = None
+
+    def pre_predict(
+        self, frame: np.ndarray, gt_label: Optional[np.ndarray], index: int
+    ) -> bool:
+        """Key-frame phase of one frame; returns whether it is a key frame."""
+        self._update_delay: Optional[int] = None
+        self._is_key = self._step == self._stride
+
+        if self._is_key:  # key frame
+            if self._pending is not None:
+                # A previous update never arrived within its stride
+                # window; apply it now before re-dispatching (keeps
+                # exactly one update in flight, as in Alg. 4).
+                if self.clock.now < self._pending.ready_at:
+                    self._stats.wait_time_s += self._pending.ready_at - self.clock.now
+                self.clock.advance_to(self._pending.ready_at)
+                self._apply_update(self._pending)
+            self._pending, kf_record = self._dispatch_key_frame(frame, gt_label, index)
+            self.trace.emit(
+                EventType.KEY_DISPATCH, self.clock.now, index,
+                steps=kf_record.steps, metric=kf_record.metric,
+            )
+            self._stats.key_frames.append(kf_record)
+            self._stats.total_up_bytes += kf_record.up_bytes
+            self._stats.total_down_bytes += kf_record.down_bytes
+            self._step = 0
+        return self._is_key
+
+    def post_predict(
+        self, pred: np.ndarray, gt_label: Optional[np.ndarray], index: int
+    ) -> None:
+        """Timing/update/stats phase after the on-device predict."""
+        cfg = self.config
+        self.clock.advance(self.latency.t_si)
+        self._step += 1
+
+        if self._pending is not None:
+            pending = self._pending
+            pending.frames_since_send += 1
+            if self.forced_delay_frames is not None:
+                if pending.frames_since_send >= self.forced_delay_frames:
+                    self._update_delay = pending.frames_since_send
+                    self._apply_update(pending)
+                    self._pending = None
+            else:
+                if self._step == cfg.min_stride and self.clock.now < pending.ready_at:
+                    # Alg. 4 line 15-16: wait — the next key frame
+                    # stride may be MIN_STRIDE.
+                    duration = pending.ready_at - self.clock.now
+                    self._stats.wait_time_s += duration
+                    self.trace.emit(
+                        EventType.WAIT, self.clock.now, index,
+                        duration=duration,
+                    )
+                    self.clock.advance_to(pending.ready_at)
+                if self.clock.now >= pending.ready_at:
+                    self._update_delay = pending.frames_since_send
+                    self._apply_update(pending)
+                    self._pending = None
+
+        self._stride = self.stride_policy.frames_to_next()
+        self._stats.frames.append(
+            FrameRecord(
+                index=index,
+                is_key=self._is_key,
+                miou=mean_iou(pred, gt_label),
+                sim_time=self.clock.now,
+                stride=self.stride_policy.stride,
+                update_delay=self._update_delay,
+            )
+        )
+
+    def process_frame(
+        self, frame: np.ndarray, gt_label: Optional[np.ndarray], index: int
+    ) -> None:
+        """One full frame on the single-session path."""
+        self.pre_predict(frame, gt_label, index)
+        pred = self.student.predict(frame)
+        self.post_predict(pred, gt_label, index)
+
+    def finish(self) -> RunStats:
+        """Close the episode and return its statistics."""
+        self._stats.total_time_s = self.clock.now
+        return self._stats
+
+    # ------------------------------------------------------------------
     def run(
         self,
         frames: Iterable[Tuple[np.ndarray, np.ndarray]],
@@ -156,75 +269,7 @@ class Client:
         the teacher-consistent reference, exactly as the paper evaluates
         against the teacher output.
         """
-        cfg = self.config
-        stats = RunStats(label=label)
-        self.stride_policy.reset()
-        stride = self.stride_policy.frames_to_next()
-        step = stride  # first frame is a key frame (Alg. 4 line 2)
-        pending: Optional[_PendingUpdate] = None
-
+        self.begin(label)
         for index, (frame, gt_label) in enumerate(frames):
-            update_delay: Optional[int] = None
-            is_key = step == stride
-
-            if is_key:  # key frame
-                if pending is not None:
-                    # A previous update never arrived within its stride
-                    # window; apply it now before re-dispatching (keeps
-                    # exactly one update in flight, as in Alg. 4).
-                    if self.clock.now < pending.ready_at:
-                        stats.wait_time_s += pending.ready_at - self.clock.now
-                    self.clock.advance_to(pending.ready_at)
-                    self._apply_update(pending)
-                pending, kf_record = self._dispatch_key_frame(frame, gt_label, index)
-                self.trace.emit(
-                    EventType.KEY_DISPATCH, self.clock.now, index,
-                    steps=kf_record.steps, metric=kf_record.metric,
-                )
-                stats.key_frames.append(kf_record)
-                stats.total_up_bytes += kf_record.up_bytes
-                stats.total_down_bytes += kf_record.down_bytes
-                step = 0
-
-            # On-device inference with the (possibly stale) student.
-            pred = self.student.predict(frame)
-            self.clock.advance(self.latency.t_si)
-            step += 1
-
-            if pending is not None:
-                pending.frames_since_send += 1
-                if self.forced_delay_frames is not None:
-                    if pending.frames_since_send >= self.forced_delay_frames:
-                        update_delay = pending.frames_since_send
-                        self._apply_update(pending)
-                        pending = None
-                else:
-                    if step == cfg.min_stride and self.clock.now < pending.ready_at:
-                        # Alg. 4 line 15-16: wait — the next key frame
-                        # stride may be MIN_STRIDE.
-                        duration = pending.ready_at - self.clock.now
-                        stats.wait_time_s += duration
-                        self.trace.emit(
-                            EventType.WAIT, self.clock.now, index,
-                            duration=duration,
-                        )
-                        self.clock.advance_to(pending.ready_at)
-                    if self.clock.now >= pending.ready_at:
-                        update_delay = pending.frames_since_send
-                        self._apply_update(pending)
-                        pending = None
-
-            stride = self.stride_policy.frames_to_next()
-            stats.frames.append(
-                FrameRecord(
-                    index=index,
-                    is_key=is_key,
-                    miou=mean_iou(pred, gt_label),
-                    sim_time=self.clock.now,
-                    stride=self.stride_policy.stride,
-                    update_delay=update_delay,
-                )
-            )
-
-        stats.total_time_s = self.clock.now
-        return stats
+            self.process_frame(frame, gt_label, index)
+        return self.finish()

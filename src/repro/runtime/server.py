@@ -7,7 +7,13 @@ the post-distillation metric.
 
 The server is written against the :class:`~repro.comm.interface.Endpoint`
 abstraction so the same class drives both the simulated single-process
-runs and the real two-process pipe transport.
+runs and the real two-process pipe transport.  For pooled serving
+(:mod:`repro.serving`), an optional *work cache* can be attached: when
+several sessions submit bitwise-identical distillation work (same
+weights, same frame, same pseudo-label — the broadcast/fan-out serving
+scenario), the training runs once and the resulting reply and
+post-training state are shared, which is observably identical to every
+session training on its own because Algorithm 1 is deterministic.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.models.student import StudentNet
 from repro.models.teacher import Teacher
 from repro.network.messages import MessageSizes
 from repro.nn.serialize import state_dict_diff, state_dict_bytes
+from repro.runtime.clock import LatencyModel
 
 
 @dataclasses.dataclass
@@ -46,16 +53,25 @@ class Server:
         config: DistillConfig,
         sizes: Optional[MessageSizes] = None,
         freeze_modules: Optional[tuple] = None,
+        work_cache: Optional[Any] = None,
     ) -> None:
         self.config = config
         self.teacher = teacher
         self.trainer = StudentTrainer(student, config, freeze_modules=freeze_modules)
         self.sizes = sizes or MessageSizes.paper()
         self._custom_freeze = freeze_modules is not None
+        #: Optional shared-distillation cache (duck-typed; see
+        #: :class:`repro.serving.shared.SharedDistillation`).
+        self.work_cache = work_cache
 
     @property
     def student(self) -> StudentNet:
         return self.trainer.student
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the server runs the paper's partial distillation."""
+        return self.config.mode is DistillMode.PARTIAL
 
     # ------------------------------------------------------------------
     def handle_key_frame(
@@ -67,10 +83,20 @@ class Server:
         teachers; neural teachers ignore it.
         """
         pseudo_label = self.teacher.infer(frame, label)
-        # Training may end with a rollback to the best checkpoint, which
-        # rebinds the trainable parameter arrays; the apply_state_dict
-        # inside the trainer drops weight-static engine plans, so the
-        # server-side student's compiled predicts never go stale.
+        if self.work_cache is not None:
+            return self.work_cache.distill(self, frame, pseudo_label)
+        return self.distill(frame, pseudo_label)
+
+    def distill(
+        self, frame: np.ndarray, pseudo_label: np.ndarray
+    ) -> Tuple[ServerReply, TrainResult]:
+        """Run Algorithm 1 on ``frame`` and package the reply.
+
+        Training may end with a rollback to the best checkpoint, which
+        rebinds the trainable parameter arrays; the apply_state_dict
+        inside the trainer drops weight-static engine plans, so the
+        server-side student's compiled predicts never go stale.
+        """
         result = self.trainer.train(frame, pseudo_label)
         partial_payload = (
             self.trainer.trainable_fraction < 1.0
@@ -91,6 +117,13 @@ class Server:
         if self.config.mode is DistillMode.PARTIAL:
             return self.sizes.student_diff_partial
         return self.sizes.student_full
+
+    def service_time(self, result: TrainResult, latency: LatencyModel) -> float:
+        """Simulated server-side pipeline time for one key frame:
+        teacher inference plus the distillation steps actually taken.
+        (Previously computed inside the client, which duplicated the
+        server's knowledge of its own distillation mode.)"""
+        return latency.t_ti + result.steps * latency.t_sd(self.is_partial)
 
     # ------------------------------------------------------------------
     def serve(self, endpoint: Endpoint, initial_send: bool = True) -> int:

@@ -57,7 +57,15 @@ def pretrained_student(
     steps: int = 40,
     frame_hw: Tuple[int, int] = (64, 96),
 ) -> StudentNet:
-    """Return a student loaded from the shared pre-trained checkpoint."""
+    """Return a student loaded from the shared pre-trained checkpoint.
+
+    Every load deep-copies the checkpoint (``load_state_dict`` copies
+    parameters, and ``set_buffer`` copies buffers — it used to alias
+    them): many pooled sessions start from the same cache entry, and a
+    session mutating its weights or running statistics in place must
+    not corrupt the checkpoint every later session starts from.  The
+    cache-isolation regression test pins this down.
+    """
     key = (width, seed, steps, frame_hw)
     if key not in _PRETRAINED_CACHE:
         student = StudentNet(width=width, seed=seed)
@@ -69,27 +77,28 @@ def pretrained_student(
     return student
 
 
-def run_shadowtutor(
-    video: SyntheticVideo,
-    num_frames: int,
-    config: Optional[SessionConfig] = None,
+def build_session(
+    config: SessionConfig,
+    frame_hw: Tuple[int, int],
     teacher: Optional[Teacher] = None,
     stride_policy: Optional[StridePolicy] = None,
-    label: str = "",
-) -> RunStats:
-    """Run the full ShadowTutor system on ``num_frames`` of ``video``."""
-    config = config or SessionConfig()
-    hw = (video.config.height, video.config.width)
+) -> Client:
+    """Build one complete ShadowTutor session (server + client pair).
+
+    The single factory behind :func:`run_shadowtutor`, the serving
+    pool, and the perf benchmark — one place constructs sessions, so
+    the pooled path cannot drift from the single-session path.
+    """
     # Both server and client start from the same pre-trained checkpoint.
     server_student = pretrained_student(
-        config.student_width, config.student_seed, config.pretrain_steps, hw
+        config.student_width, config.student_seed, config.pretrain_steps, frame_hw
     )
     client_student = pretrained_student(
-        config.student_width, config.student_seed, config.pretrain_steps, hw
+        config.student_width, config.student_seed, config.pretrain_steps, frame_hw
     )
     teacher = teacher or OracleTeacher(config.teacher_boundary_noise)
     server = Server(server_student, teacher, config.distill, config.sizes)
-    client = Client(
+    return Client(
         client_student,
         server,
         config.distill,
@@ -99,8 +108,34 @@ def run_shadowtutor(
         stride_policy=stride_policy,
         forced_delay_frames=config.forced_delay_frames,
     )
-    video.reset()
-    return client.run(video.frames(num_frames), label=label or video.config.name)
+
+
+def run_shadowtutor(
+    video: SyntheticVideo,
+    num_frames: int,
+    config: Optional[SessionConfig] = None,
+    teacher: Optional[Teacher] = None,
+    stride_policy: Optional[StridePolicy] = None,
+    label: str = "",
+) -> RunStats:
+    """Run the full ShadowTutor system on ``num_frames`` of ``video``.
+
+    This is literally the N = 1 case of the multi-session serving pool
+    (:mod:`repro.serving`): one spec, one tick stream, no batching
+    opportunities — the pool degenerates to the classic sequential
+    client loop.
+    """
+    from repro.serving.pool import SessionPool, SessionSpec
+
+    spec = SessionSpec(
+        video=video,
+        num_frames=num_frames,
+        config=config,
+        teacher=teacher,
+        stride_policy=stride_policy,
+        label=label,
+    )
+    return SessionPool([spec]).run().stats[0]
 
 
 def run_naive(

@@ -108,6 +108,30 @@ class RunStats:
         down = float(np.mean([k.down_bytes for k in self.key_frames])) / mb
         return {"to_server": up, "to_client": down, "total": up + down}
 
+    def signature(self, include_label: bool = True) -> tuple:
+        """Every observable field as one comparable value.
+
+        The serving layer's bit-identity contract ("a pooled session
+        reports exactly what it would report alone") is checked by
+        comparing these — the property tests and the pool benchmark
+        share this single definition of "everything RunStats observes".
+        """
+        return (
+            self.label if include_label else "",
+            tuple(
+                (f.index, f.is_key, f.miou, f.sim_time, f.stride, f.update_delay)
+                for f in self.frames
+            ),
+            tuple(
+                (k.index, k.metric, k.initial_metric, k.steps, k.up_bytes, k.down_bytes)
+                for k in self.key_frames
+            ),
+            self.total_time_s,
+            self.total_up_bytes,
+            self.total_down_bytes,
+            self.wait_time_s,
+        )
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of headline numbers for reports."""
         per_kf = self.bytes_per_key_frame

@@ -1,0 +1,46 @@
+"""Multi-session serving runtime: many ShadowTutor clients, one process.
+
+The paper's system serves one client; the reproduction's north star is
+"millions of users".  This package is the serving layer between them: a
+:class:`~repro.serving.pool.SessionPool` owns N concurrent client
+sessions — each with its own student state, stride policy and key-frame
+schedule — and a cooperative, event-driven scheduler (in the style of
+real-time multimedia interpreters: no threads, a shared virtual tick
+clock, sessions advance frame by frame) interleaves them.
+
+Work is amortised across sessions wherever it is *provably* identical:
+
+* :class:`~repro.serving.batched.BatchedPredictor` gathers every
+  session due for a non-key-frame predict on the current tick, groups
+  them by weight version and frame geometry, and runs each group
+  through one compiled ``n > 1`` engine plan with per-sample batch-norm
+  statistics — bit-identical, per sample, to each session's own n = 1
+  plan.  Sessions whose students have diverged fall back to their own
+  per-session predict.
+* :class:`~repro.serving.shared.SharedDistillation` memoises
+  server-side key-frame training across sessions that submit bitwise
+  identical work (the broadcast scenario: many viewers of one stream).
+
+Identity is tracked with content-digest chains
+(:func:`repro.nn.serialize.state_dict_digest`), so "same weights" is a
+proof, not a heuristic.  The property-test harness in
+``tests/test_serving_pool.py`` pins the whole layer to the semantics
+the paper's tables depend on: a pooled run of N sessions produces
+bit-identical ``RunStats`` to N independent single-session runs.
+
+``run_shadowtutor`` is the N = 1 case of this pool.
+"""
+
+from repro.serving.batched import BatchedPredictor
+from repro.serving.pool import PoolResult, SessionPool, SessionSpec
+from repro.serving.scheduler import TickScheduler
+from repro.serving.shared import SharedDistillation
+
+__all__ = [
+    "BatchedPredictor",
+    "PoolResult",
+    "SessionPool",
+    "SessionSpec",
+    "SharedDistillation",
+    "TickScheduler",
+]

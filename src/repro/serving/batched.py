@@ -1,0 +1,147 @@
+"""Batched non-key-frame inference across weight-identical sessions.
+
+On every pool tick, all sessions due for a non-key-frame predict hand
+their frames to one :class:`BatchedPredictor` call.  Frames are grouped
+by ``(weight_version, frame geometry)``: equal weight versions prove
+equal student weights (content-digest chains, see
+:func:`repro.nn.serialize.state_dict_digest`), so the whole group can
+be served by one student's compiled plan.  Within a group:
+
+* bitwise-duplicate frames (the broadcast scenario) are predicted once
+  and fanned out — identical inputs through identical weights are the
+  same computation;
+* the remaining unique frames are stacked into one ``n > 1`` forward
+  through the group leader's ``"serve"`` engine plan, whose per-sample
+  batch-norm statistics and column-stable GEMMs make every sample
+  bit-identical to that session's own ``n = 1`` predict.
+
+Sessions whose students have diverged (no group partner) fall back to
+their own per-session predict — the exact single-session path.  Every
+route therefore produces the same prediction the session would have
+computed alone, which is what lets the pool promise bit-identical
+``RunStats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.serialize import array_digest
+
+
+class BatchedPredictor:
+    """Gather/stack/scatter predictor over pooled sessions.
+
+    Parameters
+    ----------
+    batch:
+        Stack unique weight-sharing frames into ``n > 1`` compiled
+        forwards.  Off, every frame is predicted individually (still
+        deduplicated when ``dedup`` is on).
+    dedup:
+        Serve bitwise-identical frames within a weight group from one
+        predict.
+    """
+
+    def __init__(self, batch: bool = True, dedup: bool = True) -> None:
+        self.batch = batch
+        self.dedup = dedup
+        #: Route counters (BENCH-relevant): how each frame was served.
+        self.counters: Dict[str, int] = {
+            "predicts": 0,          # frames served in total
+            "batch_runs": 0,        # n > 1 compiled forwards executed
+            "batched_frames": 0,    # frames served by an n > 1 forward
+            "deduped_frames": 0,    # frames served from a duplicate's predict
+            "single_frames": 0,     # frames served by their own n = 1 predict
+        }
+
+    def predict(
+        self, items: Sequence[Tuple[object, np.ndarray]]
+    ) -> Tuple[List[np.ndarray], List[str]]:
+        """Serve ``(client, frame)`` pairs; returns (preds, route tags).
+
+        ``client`` duck-types :class:`repro.runtime.client.Client`: it
+        exposes ``student`` and ``weight_version``.  Order of results
+        matches the input order.
+        """
+        counters = self.counters
+        counters["predicts"] += len(items)
+        preds: List[Optional[np.ndarray]] = [None] * len(items)
+        routes: List[str] = [""] * len(items)
+
+        groups: Dict[Tuple[str, Tuple[int, ...]], List[int]] = {}
+        for i, (client, frame) in enumerate(items):
+            version = client.weight_version
+            if version is None:
+                # Untracked weights: nothing provable to share.
+                preds[i] = client.student.predict(frame)
+                routes[i] = "single"
+                counters["single_frames"] += 1
+                continue
+            groups.setdefault((version, tuple(frame.shape)), []).append(i)
+
+        for group in groups.values():
+            self._serve_group(items, group, preds, routes)
+        return preds, routes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _serve_group(self, items, group, preds, routes) -> None:
+        counters = self.counters
+        leader_client = items[group[0]][0]
+
+        # Collapse bitwise-duplicate frames first: `order` keeps one
+        # representative index per distinct frame, `fanout` the copies.
+        if self.dedup and len(group) > 1:
+            by_digest: Dict[str, List[int]] = {}
+            order: List[int] = []
+            for i in group:
+                digest = array_digest(items[i][1])
+                if digest not in by_digest:
+                    by_digest[digest] = []
+                    order.append(i)
+                else:
+                    by_digest[digest].append(i)
+                    routes[i] = "dedup"
+                    counters["deduped_frames"] += 1
+            fanout = {rep: by_digest[d] for rep, d in zip(order, by_digest)}
+        else:
+            order = list(group)
+            fanout = {i: [] for i in order}
+
+        if self.batch and len(order) > 1:
+            # Serve in power-of-two sub-batches, largest first.  Every
+            # distinct batch size compiles (and permanently caches) its
+            # own serve plan with n-scaled scratch on the leader's
+            # student; bucketing bounds the set of plan geometries a
+            # long-lived pool with drifting cohort sizes can create to
+            # log2(N) instead of N.
+            start = 0
+            while start < len(order):
+                size = 1 << ((len(order) - start).bit_length() - 1)
+                chunk = order[start : start + size]
+                start += size
+                if size == 1:
+                    self._serve_single(items, chunk[0], preds, routes)
+                    continue
+                stacked = np.stack([items[i][1] for i in chunk])
+                batch = leader_client.student.predict_batch(stacked)
+                counters["batch_runs"] += 1
+                counters["batched_frames"] += size
+                tag = f"batch:{size}"
+                for pos, i in enumerate(chunk):
+                    preds[i] = batch[pos]
+                    routes[i] = tag
+        else:
+            for i in order:
+                self._serve_single(items, i, preds, routes)
+
+        for rep, dups in fanout.items():
+            for i in dups:
+                preds[i] = preds[rep]
+
+    def _serve_single(self, items, i, preds, routes) -> None:
+        preds[i] = items[i][0].student.predict(items[i][1])
+        routes[i] = "single"
+        self.counters["single_frames"] += 1

@@ -60,6 +60,11 @@ PUBLIC_MODULES = [
     "repro.runtime.naive",
     "repro.runtime.session",
     "repro.runtime.trace",
+    "repro.serving",
+    "repro.serving.pool",
+    "repro.serving.scheduler",
+    "repro.serving.batched",
+    "repro.serving.shared",
     "repro.analytic",
     "repro.analytic.bounds",
     "repro.analytic.planner",

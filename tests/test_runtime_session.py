@@ -103,6 +103,41 @@ class TestPretrainedStudentCache:
         a.out3.weight.data += 1.0
         assert not np.allclose(a.out3.weight.data, b.out3.weight.data)
 
+    def test_loaded_students_never_alias_the_cache(self):
+        """Pooled-serving regression: a session mutating its student *in
+        place* (weights or batch-norm running stats) must leave the
+        shared checkpoint — and every concurrently loaded session —
+        untouched.  Buffers used to be loaded as no-copy views."""
+        from repro.runtime.session import _PRETRAINED_CACHE
+
+        key_args = dict(width=0.35, steps=5, frame_hw=(48, 64))
+        mutated = pretrained_student(**key_args)
+        cache_entry = _PRETRAINED_CACHE[(0.35, 0, 5, (48, 64))]
+        snapshot = {k: v.copy() for k, v in cache_entry.items()}
+
+        # In-place mutation of every kind of loaded state.
+        for _, param in mutated.named_parameters():
+            param.data[...] = 123.0
+        for _, buf in mutated.named_buffers():
+            buf[...] = 456.0
+
+        for name, value in cache_entry.items():
+            np.testing.assert_array_equal(
+                value, snapshot[name],
+                err_msg=f"cache entry {name} was corrupted by a session",
+            )
+        fresh = pretrained_student(**key_args)
+        for name, value in fresh.state_dict().items():
+            np.testing.assert_array_equal(value, snapshot[name], err_msg=name)
+
+    def test_sibling_sessions_share_no_arrays(self):
+        """Two sessions loaded from one checkpoint share zero storage."""
+        a = pretrained_student(width=0.35, steps=5, frame_hw=(48, 64))
+        b = pretrained_student(width=0.35, steps=5, frame_hw=(48, 64))
+        a_arrays = {name: arr for name, arr in a.state_dict().items()}
+        for name, arr in b.state_dict().items():
+            assert not np.shares_memory(arr, a_arrays[name]), name
+
 
 class TestModesCompared:
     def test_partial_no_worse_traffic_than_full(self, easy_video):

@@ -1,0 +1,157 @@
+"""Engine batch equivalence: compiled ``n > 1`` serving forwards must be
+bit-identical to stacking ``n`` single-frame forwards, across every
+geometry the student emits (both widths, odd spatial sizes).  This is
+the numerical contract the batched predictor and the whole pooled
+runtime stand on."""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.models.student import StudentNet
+from repro.serving.batched import BatchedPredictor
+
+#: (height, width) geometries: the experiment default, the fast test
+#: size, and odd (non-power-of-two) spatial sizes that force BLAS onto
+#: different kernels.
+GEOMETRIES = [(32, 48), (64, 96), (36, 44), (20, 28)]
+WIDTHS = [0.25, 0.5]
+
+
+def random_frames(n, hw, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, (n, 3, *hw)).astype(np.float32)
+
+
+class TestServePlanBitIdentity:
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("hw", GEOMETRIES)
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_logits_match_single_frame_plans(self, width, hw, n):
+        student = StudentNet(width=width, seed=0)
+        student.eval()
+        frames = random_frames(n, hw)
+        single_plan = student.engine_plan("forward", ((1, 3, *hw),))
+        serve_plan = student.engine_plan("serve", ((n, 3, *hw),))
+        assert single_plan is not None and serve_plan is not None
+        (batched,) = serve_plan.run(frames)
+        batched = batched.copy()  # plan buffers are reused across runs
+        for i in range(n):
+            (single,) = single_plan.run(frames[i : i + 1])
+            np.testing.assert_array_equal(
+                batched[i], single[0],
+                err_msg=f"sample {i} of {n} at {hw}, width {width}",
+            )
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("hw", GEOMETRIES)
+    def test_predict_batch_matches_stacked_predicts(self, width, hw):
+        student = StudentNet(width=width, seed=0)
+        student.eval()
+        frames = random_frames(6, hw, seed=11)
+        singles = np.stack([student.predict(f) for f in frames])
+        np.testing.assert_array_equal(student.predict_batch(frames), singles)
+
+    def test_batched_matches_autograd_per_sample(self):
+        """The chain closes: batched serve == single plan == autograd."""
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        frames = random_frames(3, (32, 48), seed=3)
+        batched = student.predict_batch(frames)
+        with engine.disabled():
+            autograd = np.stack([student.predict(f) for f in frames])
+        np.testing.assert_array_equal(batched, autograd)
+
+    def test_engine_disabled_fallback_is_exact(self):
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        frames = random_frames(4, (32, 48), seed=5)
+        with engine.disabled():
+            preds = student.predict_batch(frames)
+            singles = np.stack([student.predict(f) for f in frames])
+        np.testing.assert_array_equal(preds, singles)
+
+
+class TestPlanCacheCoexistence:
+    def test_serve_and_forward_plans_coexist(self):
+        """Per-session (n = 1) and pool (n > 1) plans live side by side
+        in one module cache under distinct (kind, shapes) keys."""
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        hw = (32, 48)
+        p1 = student.engine_plan("forward", ((1, 3, *hw),))
+        p4 = student.engine_plan("serve", ((4, 3, *hw),))
+        p8 = student.engine_plan("serve", ((8, 3, *hw),))
+        assert p1 is not None and p4 is not None and p8 is not None
+        assert len({id(p1), id(p4), id(p8)}) == 3
+        # Cached: same key returns the same object, no recompilation.
+        assert student.engine_plan("forward", ((1, 3, *hw),)) is p1
+        assert student.engine_plan("serve", ((4, 3, *hw),)) is p4
+
+    def test_serve_plan_survives_weight_update(self):
+        """Serve plans read live weights: an updated student batch-
+        predicts with the fresh weights, identically to its own
+        fresh single predicts."""
+        student = StudentNet(width=0.25, seed=0)
+        student.eval()
+        frames = random_frames(3, (32, 48), seed=9)
+        student.predict_batch(frames)  # compile with the old weights
+        state = {
+            k: v + 0.01 * np.sign(v) for k, v in student.state_dict().items()
+        }
+        student.load_state_dict(state)
+        singles = np.stack([student.predict(f) for f in frames])
+        np.testing.assert_array_equal(student.predict_batch(frames), singles)
+
+
+class TestBatchedPredictor:
+    def _client(self, version, width=0.25):
+        class FakeClient:
+            def __init__(self, student, weight_version):
+                self.student = student
+                self.weight_version = weight_version
+
+        student = StudentNet(width=width, seed=0)
+        student.eval()
+        return FakeClient(student, version)
+
+    def test_groups_by_weight_version(self):
+        frames = random_frames(4, (32, 48))
+        a = self._client("v1")
+        b = self._client("v1")
+        c = self._client("v2")
+        predictor = BatchedPredictor()
+        preds, routes = predictor.predict(
+            [(a, frames[0]), (b, frames[1]), (c, frames[2])]
+        )
+        assert routes[0].startswith("batch:2") and routes[1].startswith("batch:2")
+        assert routes[2] == "single"
+        assert predictor.counters["batched_frames"] == 2
+        assert predictor.counters["single_frames"] == 1
+
+    def test_untracked_versions_never_share(self):
+        frames = random_frames(2, (32, 48))
+        a = self._client(None)
+        b = self._client(None)
+        predictor = BatchedPredictor()
+        _, routes = predictor.predict([(a, frames[0]), (b, frames[1])])
+        assert routes == ["single", "single"]
+
+    def test_duplicate_frames_are_served_once(self):
+        frames = random_frames(1, (32, 48))
+        clients = [self._client("v1") for _ in range(3)]
+        predictor = BatchedPredictor()
+        preds, routes = predictor.predict([(c, frames[0]) for c in clients])
+        assert sorted(routes) == ["dedup", "dedup", "single"]
+        assert predictor.counters["deduped_frames"] == 2
+        ref = clients[0].student.predict(frames[0])
+        for p in preds:
+            np.testing.assert_array_equal(p, ref)
+
+    def test_routes_are_bit_identical_to_self_predict(self):
+        frames = random_frames(5, (32, 48))
+        clients = [self._client("v1") for _ in range(5)]
+        items = [(c, f) for c, f in zip(clients, frames)]
+        preds, _ = BatchedPredictor().predict(items)
+        for (c, f), p in zip(items, preds):
+            np.testing.assert_array_equal(p, c.student.predict(f))
