@@ -1,0 +1,38 @@
+"""Benchmark: shared-memory transport vs the pickled pipe.
+
+The ISSUE-3 acceptance floor: moving frame payloads through the
+shared-memory ring (pickle-free wire format, one producer-side copy
+into shared memory) must be >= 2x the pipe's throughput.  The measured
+record is appended to ``BENCH_PERF.json``; regenerate manually with::
+
+    PYTHONPATH=src python scripts/bench_transport.py
+"""
+
+import pytest
+
+from repro.experiments.perf import (
+    append_record,
+    format_transport_record,
+    measure_transport_throughput,
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.mark.benchmark(group="perf_transport")
+def test_shm_beats_pipe_on_frame_payloads(results_sink):
+    record = measure_transport_throughput(num_messages=24)
+    text = format_transport_record(record)
+    print(text)
+    results_sink(text)
+
+    # Sanity: both transports actually moved HD-scale frames.
+    assert record["pipe"]["frame_mb_s"] > 0
+    assert record["shm"]["frame_mb_s"] > 0
+    # The acceptance floor (ISSUE 3): >= 2x on frame payloads.
+    # Measured ~4.6x quiet on a single core; wall-clock measurements
+    # are load-sensitive, so keep heavy parallel jobs off this run.
+    assert record["speedup_frame"] >= 2.0
+    # Append only after the floor holds, so a failing run cannot
+    # pollute the committed perf trajectory.
+    append_record(record)

@@ -5,13 +5,18 @@ The evaluation harness uses a simulated clock for reproducible timing,
 but the protocol itself (Algorithms 3 and 4) is transport-agnostic.
 This demo runs the *real* thing: the server process owns the teacher
 and the student copy; the client process streams video frames, sends
-key frames over a multiprocessing pipe, receives partial weight
-updates, and applies them mid-stream — the same message flow the paper
-ran over OpenMPI.
+key frames over a real transport, receives partial weight updates, and
+applies them mid-stream — the same message flow the paper ran over
+OpenMPI.
+
+``--transport`` selects the link from the transport registry:
+``pipe`` (pickled ``multiprocessing.Pipe``, the legacy baseline) or
+``shm`` (shared-memory slot ring speaking the pickle-free wire format —
+frames cross with a single copy into shared memory).
 
 Run::
 
-    python examples/two_process_demo.py [--frames N]
+    python examples/two_process_demo.py [--frames N] [--transport shm]
 """
 
 import argparse
@@ -19,10 +24,10 @@ import argparse
 import numpy as np
 
 from repro import DistillConfig, OracleTeacher, StudentNet, mean_iou
-from repro.comm.mp import run_in_subprocess
 from repro.nn.serialize import apply_state_dict
 from repro.runtime.server import Server
 from repro.striding.adaptive import AdaptiveStride
+from repro.transport.registry import spawn_server
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
 
@@ -37,18 +42,21 @@ def server_process(endpoint) -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--transport", choices=("pipe", "shm"), default="pipe",
+                        help="which registered real transport carries the "
+                             "protocol (default: pipe)")
     args = parser.parse_args()
 
     config = DistillConfig(max_updates=8, threshold=0.7,
                            min_stride=4, max_stride=32)
-    endpoint, proc = run_in_subprocess(server_process)
+    endpoint, proc = spawn_server(args.transport, server_process)
 
     # Client side (Algorithm 4, blocking variant for clarity).
     student = StudentNet(width=0.4, seed=0)
     initial = endpoint.recv()
     student.load_state_dict(initial)
-    print(f"received initial student ({len(initial)} arrays) from server "
-          f"pid={proc.pid}")
+    print(f"received initial student ({len(initial)} arrays) over "
+          f"{args.transport} from server pid={proc.pid}")
 
     video = make_category_video(CATEGORY_BY_KEY["fixed-people"])
     policy = AdaptiveStride(config)
@@ -57,9 +65,24 @@ def main() -> None:
     pending = None
     mious, n_key = [], 0
 
+    def apply_reply(reply, index):
+        nonlocal stride
+        apply_state_dict(student, reply.update)
+        policy.update(reply.metric)
+        stride = policy.frames_to_next()
+        print(f"frame {index:4d}: update applied "
+              f"(metric={reply.metric:.2f}, steps={reply.steps}, "
+              f"next stride={stride})")
+
     student.eval()
     for index, (frame, label) in enumerate(video.frames(args.frames)):
         if step == stride:
+            if pending is not None:
+                # Exactly one update in flight (Algorithm 4): an
+                # overdue update is awaited and applied before the next
+                # key frame dispatches — also what keeps the ring's
+                # bounded slots from ever backing up.
+                apply_reply(pending.wait(), index)
             endpoint.send((frame, label), nbytes=frame.nbytes)
             pending = endpoint.irecv()
             n_key += 1
@@ -70,22 +93,20 @@ def main() -> None:
         step += 1
 
         if pending is not None and pending.test():
-            reply = pending.payload()
-            apply_state_dict(student, reply.update)
-            stride = policy.frames_to_next()
-            policy.update(reply.metric)
-            stride = policy.frames_to_next()
-            print(f"frame {index:4d}: update applied "
-                  f"(metric={reply.metric:.2f}, steps={reply.steps}, "
-                  f"next stride={stride})")
+            apply_reply(pending.payload(), index)
             pending = None
 
+    if pending is not None:
+        apply_reply(pending.wait(), args.frames - 1)
     endpoint.send(None, nbytes=1)
     proc.join(timeout=30)
+    close = getattr(endpoint, "close", None)
+    if close is not None:
+        close()
 
     print("=" * 60)
     print(f"processed {args.frames} frames, {n_key} key frames "
-          f"({100 * n_key / args.frames:.1f}%)")
+          f"({100 * n_key / args.frames:.1f}%) over {args.transport}")
     print(f"mean mIoU vs teacher: {100 * np.mean(mious):.1f}%")
     print(f"server process exited with code {proc.exitcode}")
 

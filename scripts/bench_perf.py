@@ -17,11 +17,14 @@ predicts + memoised distillation) against the same N sessions run
 sequentially, recording pooled frames/sec, the amortisation route
 counters, and the bit-identity check.
 
-Each invocation appends one timestamped record, so the file accumulates
-the throughput trajectory across PRs.  The benchmark suite
-(``benchmarks/test_perf_engine.py``, ``benchmarks/test_perf_pool.py``)
-uses the same measurements and enforces the >= 3x engine and >= 2x
-pooled-serving floors.
+Each invocation appends one schema-stamped record (``name``, ``pr``,
+``git_rev``, timestamp), so the file accumulates the throughput
+trajectory across PRs; ``--migrate`` stamps the schema onto pre-schema
+records in place.  The benchmark suite
+(``benchmarks/test_perf_engine.py``, ``benchmarks/test_perf_pool.py``,
+``benchmarks/test_perf_transport.py``) uses the same measurements and
+enforces the >= 3x engine, >= 2x pooled-serving and >= 2x shm-transport
+floors.
 """
 
 import argparse
@@ -35,8 +38,11 @@ from repro.experiments.perf import (  # noqa: E402
     append_record,
     format_pool_record,
     format_record,
+    format_transport_record,
     measure_engine_speedup,
     measure_pool_throughput,
+    measure_transport_throughput,
+    migrate_records,
 )
 
 
@@ -50,16 +56,35 @@ def main() -> int:
     parser.add_argument("--pool", type=int, default=None, metavar="N",
                         help="benchmark the serving pool with N sessions "
                              "of one stream instead of the engine speedup")
+    parser.add_argument("--transport", action="store_true",
+                        help="benchmark shm vs pipe payload throughput "
+                             "instead of the engine speedup "
+                             "(also: scripts/bench_transport.py)")
+    parser.add_argument("--pr", default=None,
+                        help="PR tag stamped on the record "
+                             "(default: inferred from CHANGES.md)")
+    parser.add_argument("--migrate", action="store_true",
+                        help="stamp name/pr/git_rev onto pre-schema "
+                             "records in --output, then exit")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_RESULTS_PATH)
     args = parser.parse_args()
 
-    if args.pool is not None:
+    if args.migrate:
+        updated = migrate_records(args.output)
+        print(f"migrated {updated} pre-schema record(s) in {args.output}")
+        return 0
+
+    if args.transport:
+        record = measure_transport_throughput(pr=args.pr)
+        summary = format_transport_record(record)
+    elif args.pool is not None:
         record = measure_pool_throughput(
             num_sessions=args.pool,
             num_frames=args.frames or 64,
             width=args.width,
             category=args.category,
             pretrain_steps=args.pretrain_steps,
+            pr=args.pr,
         )
         summary = format_pool_record(record)
     else:
@@ -68,6 +93,7 @@ def main() -> int:
             width=args.width,
             category=args.category,
             pretrain_steps=args.pretrain_steps,
+            pr=args.pr,
         )
         summary = format_record(record)
     path = append_record(record, args.output)

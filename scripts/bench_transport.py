@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Benchmark the real transports and append the record to BENCH_PERF.json.
+
+Round-trips the paper's two big payloads — an HD-scale video frame
+(Table 4's uplink) and a width-1.0 student's partial weight diff (the
+downlink) — through a spawned server process over both registered real
+transports:
+
+* ``pipe``: the legacy pickled ``multiprocessing.Pipe``;
+* ``shm``: the shared-memory slot ring speaking the pickle-free wire
+  format (one producer-side copy into shared memory).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_transport.py [--messages 32]
+        [--pr PR3] [--output BENCH_PERF.json]
+
+The ISSUE-3 acceptance floor (shm >= 2x pipe on frame payloads) is
+enforced by ``benchmarks/test_perf_transport.py`` off the same
+measurement.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.perf import (  # noqa: E402
+    DEFAULT_RESULTS_PATH,
+    append_record,
+    format_transport_record,
+    measure_transport_throughput,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--messages", type=int, default=32,
+                        help="payload round trips per measurement")
+    parser.add_argument("--pr", default=None,
+                        help="PR tag stamped on the record "
+                             "(default: inferred from CHANGES.md)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_RESULTS_PATH)
+    args = parser.parse_args()
+
+    record = measure_transport_throughput(num_messages=args.messages, pr=args.pr)
+    print(format_transport_record(record))
+    path = append_record(record, args.output)
+    print(f"appended record to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

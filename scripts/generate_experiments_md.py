@@ -242,6 +242,59 @@ def section_figure4(scale):
     )
 
 
+def section_link_traces(scale):
+    """Trace-driven bandwidth runs (``repro.transport.link``).
+
+    The bundled LTE/Wi-Fi-style traces compile into
+    ``DynamicNetworkModel`` schedules, so a simulated run rides the
+    same recorded link a real two-process run would replay through
+    ``ShapedEndpoint``.  Compares each scenario against the paper's
+    static 80 Mbps testbed link.
+    """
+    from repro.network.model import NetworkModel
+    from repro.runtime.session import SessionConfig, run_shadowtutor
+    from repro.transport.link import BUNDLED_TRACES
+    from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+    def run(network):
+        video = make_category_video(
+            CATEGORY_BY_KEY["moving-animals"],
+            height=scale.frame_height, width=scale.frame_width,
+        )
+        config = SessionConfig(
+            student_width=scale.student_width,
+            pretrain_steps=scale.pretrain_steps,
+            network=network,
+        )
+        return run_shadowtutor(video, scale.num_frames, config, label="trace")
+
+    rows = []
+    static = run(NetworkModel(bandwidth_mbps=80.0))
+    rows.append(["static-80 (testbed)", "80.0", "80.0",
+                 f2(static.throughput_fps), f2(static.wait_time_s),
+                 f2(100 * static.key_frame_ratio)])
+    for name, trace in BUNDLED_TRACES.items():
+        stats = run(trace.to_network_model())
+        rows.append([name, f1(trace.mean_mbps), f1(trace.min_mbps),
+                     f2(stats.throughput_fps), f2(stats.wait_time_s),
+                     f2(100 * stats.key_frame_ratio)])
+    table = md_table(
+        ["link scenario", "mean Mbps", "min Mbps", "FPS", "wait s", "kf %"],
+        rows,
+    )
+    return (
+        "## Trace-driven bandwidth runs (transport scenarios)\n\n" + table +
+        "\n\nBundled link traces (moving-animals stream): the client's "
+        "asynchronous inference rides through LTE-grade fluctuation with "
+        "little throughput loss — blocking waits stay small because "
+        "updates overlap on-device inference (section 6.4's robustness "
+        "claim, now driven by named scenarios).  The same `LinkTrace` "
+        "objects replay over the real shm transport via "
+        "`repro.transport.link.ShapedEndpoint`, so simulated and "
+        "two-process runs consume identical network scenarios.\n"
+    )
+
+
 def section_perf():
     """Wall-clock trajectory of the compiled engine (BENCH_PERF.json)."""
     import json
@@ -255,11 +308,12 @@ def section_perf():
             "`PYTHONPATH=src python scripts/bench_perf.py`.\n"
         )
     records = json.loads(DEFAULT_RESULTS_PATH.read_text())
+    engine_records = [r for r in records if "seed_path" in r]
     rows = []
-    for rec in records[-8:]:
+    for rec in engine_records[-8:]:
         proto = rec["protocol"]
         rows.append([
-            rec["timestamp"],
+            f"{rec.get('pr', '?')} {rec.get('git_rev', '?')}",
             f"{proto['num_frames']}@{proto['student_width']}",
             f2(rec["seed_path"]["wall_fps"]),
             f2(rec["engine_path"]["wall_fps"]),
@@ -349,6 +403,7 @@ def main() -> None:
         section_table6(scale),
         section_table7(scale),
         section_figure4(scale),
+        section_link_traces(scale),
         section_perf(),
         section_serving(),
         "## Bounds and planner (sections 5.3 / 6.2)\n\n"

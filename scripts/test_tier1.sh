@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: runs the repo's test suite exactly as
-# ROADMAP.md specifies.  Extra pytest arguments pass through, e.g.
+# ROADMAP.md specifies, then a fast real-transport smoke test.  Extra
+# pytest arguments pass through, e.g.
 #   scripts/test_tier1.sh -m "not perf"     # skip wall-clock benchmarks
 #   scripts/test_tier1.sh tests/            # fast tier only
 set -euo pipefail
 cd "$(dirname "$0")/.."
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} exec python -m pytest -x -q "$@"
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+python -m pytest -x -q "$@"
+# Two-process smoke: a tiny session over the shared-memory transport
+# must match the in-process run bit for bit.  Hard timeout so a ring
+# handshake regression fails the gate instead of hanging it.
+timeout 300 python scripts/smoke_transport.py

@@ -41,6 +41,7 @@ from repro.runtime.session import run_wild, pretrained_student
 from repro.segmentation import mean_iou
 from repro.serving import PoolResult, SessionPool, SessionSpec
 from repro.striding import AdaptiveStride, ExponentialBackoffStride, FixedStride
+from repro.transport import LinkTrace, available_transports, bundled_trace
 from repro.video import (
     LVS_CATEGORIES,
     NAMED_VIDEOS,
@@ -84,6 +85,9 @@ __all__ = [
     "AdaptiveStride",
     "ExponentialBackoffStride",
     "FixedStride",
+    "LinkTrace",
+    "available_transports",
+    "bundled_trace",
     "LVS_CATEGORIES",
     "NAMED_VIDEOS",
     "SyntheticVideo",

@@ -430,7 +430,10 @@ class Tensor:
             g = np.broadcast_to(g, (n, c, h // k, k, w // k, k))
             self._accumulate(g.reshape(n, c, h, w).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _tracer._ACTIVE is not None:
+            _tracer._ACTIVE.record("avg_pool2d", (self,), out, k=k)
+        return out
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

@@ -5,13 +5,19 @@ Algorithms 3 and 4 are written against this interface: blocking
 :class:`~repro.comm.interface.Request` handles with ``test()`` /
 ``wait()`` — mirroring mpi4py's lowercase-object-communication idioms.
 
-Two transports:
+Transports implementing the interface:
 
 * :class:`~repro.comm.inproc.SimulatedChannel` — deterministic
   in-process transport whose delivery times come from the discrete-event
   clock and the :class:`~repro.network.model.NetworkModel`.
 * :class:`~repro.comm.mp.PipeTransport` — a real two-process transport
-  over ``multiprocessing`` pipes, for the live distributed demo.
+  over ``multiprocessing`` pipes (pickled payloads, legacy baseline).
+* :class:`~repro.transport.shm.ShmTransport` — the zero-copy
+  shared-memory ring speaking the pickle-free wire format.
+
+All three are name-registered in :mod:`repro.transport.registry`
+(``"inproc"``, ``"pipe"``, ``"shm"``), which is how runners, examples
+and benchmarks select a link.
 """
 
 from repro.comm.interface import Endpoint, Request

@@ -26,6 +26,7 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.engine import tracer
 from repro.engine.kernels import (
     AddStep,
+    AvgPool2dStep,
     BatchNormStep,
     ConcatStep,
     ConvStep,
@@ -147,6 +148,11 @@ def build_steps(
             )
         elif rec.kind == "upsample2x":
             step = Upsample2xStep(in_slots[0], len(shapes), shapes[in_slots[0]], training)
+        elif rec.kind == "avg_pool2d":
+            step = AvgPool2dStep(
+                in_slots[0], len(shapes), shapes[in_slots[0]],
+                rec.meta.get("k", 2), training,
+            )
         else:
             raise UntraceableError(f"no kernel for traced op {rec.kind!r}")
 

@@ -522,6 +522,42 @@ class ConcatStep:
                 gin += g[:, lo:hi]
 
 
+class AvgPool2dStep:
+    """Non-overlapping k x k average pooling through a reshaped view.
+
+    Mirrors :meth:`repro.autograd.tensor.Tensor.avg_pool2d` exactly:
+    forward is one ``mean`` reduction over the pooled axes into the
+    preallocated output; backward divides the upstream gradient by
+    ``k*k`` and broadcasts it back over each pooling window.
+    """
+
+    def __init__(self, in_slot, out_slot, in_shape, k: int, training: bool) -> None:
+        n, c, h, w = in_shape
+        if h % k or w % k:
+            raise UntraceableError(
+                f"avg_pool2d traced on spatial dims ({h},{w}) not divisible by {k}"
+            )
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.k = k
+        self._grid = (n, c, h // k, k, w // k, k)
+        self.out_shape = (n, c, h // k, w // k)
+        self.out = np.empty(self.out_shape, np.float32)
+        self._gout = np.empty(self.out_shape, np.float32) if training else None
+        self._gin = np.empty(tuple(in_shape), np.float32) if training else None
+
+    def forward(self, env) -> None:
+        env[self.in_slot].reshape(self._grid).mean(axis=(3, 5), out=self.out)
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:
+        gin = gbufs[self.in_slot]
+        if gin is None:
+            return
+        np.divide(gbufs[self.out_slot], self.k * self.k, out=self._gout)
+        self._gin.reshape(self._grid)[...] = self._gout[:, :, :, None, :, None]
+        gin += self._gin
+
+
 class Upsample2xStep:
     """Nearest-neighbour 2x upsampling through a strided view."""
 

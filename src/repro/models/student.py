@@ -110,9 +110,6 @@ class StudentNet(Module):
         c = {k: max(4, int(round(v * width))) for k, v in _BASE_CHANNELS.items()}
         self.num_classes = num_classes
         self.width = width
-        #: (kind, shapes) -> CompiledPlan | CompiledTrainStep | None;
-        #: cleared by Module.invalidate_plans.
-        self._engine_plans: dict = {}
 
         # Front-end (frozen under partial distillation).
         self.in1 = Conv2d(in_channels, c["in1"], 3, stride=2, rng=rng)
@@ -170,33 +167,12 @@ class StudentNet(Module):
     # ------------------------------------------------------------------
     # Compiled-engine integration
     # ------------------------------------------------------------------
-    def engine_plan(self, kind: str, shapes: Tuple[Tuple[int, ...], ...]):
-        """Fetch (compiling on first use) the engine plan for a geometry.
-
-        ``kind`` selects the traced callable: ``"forward"`` (whole net),
-        ``"serve"`` (whole net with per-sample batch-norm statistics —
-        the multi-session batched-inference semantics), ``"front"`` /
-        ``"back"`` (either side of the freeze boundary), or
-        ``"train_back"`` / ``"train_full"`` (fused train steps).
-        Returns ``None`` when the engine is disabled or the geometry is
-        not compilable — callers fall back to the autograd path.  Failed
-        compilations are cached so the trace is not retried per frame.
-        Keys embed both kind and shapes, so a session's own ``n = 1``
-        plans and the serving pool's batched plans coexist in one cache.
-        """
-        from repro import engine
-
-        if not engine.is_enabled():
-            return None
-        key = (kind, shapes)
-        cache = self._engine_plans
-        if key in cache:
-            return cache[key]
-        from repro.engine.compiler import compile_plan
-        from repro.engine.kernels import UntraceableError
-        from repro.engine.training import CompiledTrainStep
-
-        fns = {
+    def _engine_fns(self):
+        """Traced callables by plan kind (see :meth:`Module.engine_plan`):
+        the base ``"forward"`` / ``"serve"`` vocabulary plus ``"front"``
+        / ``"back"`` (either side of the freeze boundary) and
+        ``"train_back"`` / ``"train_full"`` (fused train steps)."""
+        return {
             "forward": self.forward,
             "serve": self.forward,
             "front": self.forward_front,
@@ -204,24 +180,6 @@ class StudentNet(Module):
             "train_back": self.forward_back,
             "train_full": self.forward,
         }
-        examples = tuple(np.zeros(shape, dtype=np.float32) for shape in shapes)
-        # Trace in eval mode: tracing runs one real forward, and doing it
-        # in train mode would perturb batch-norm running statistics.
-        was_training = self.training
-        self.eval()
-        try:
-            if kind.startswith("train"):
-                plan = CompiledTrainStep(fns[kind], examples)
-            elif kind == "serve":
-                plan = compile_plan(fns[kind], examples, per_sample_stats=True)
-            else:
-                plan = compile_plan(fns[kind], examples)
-        except UntraceableError:
-            plan = None
-        finally:
-            self.train(was_training)
-        cache[key] = plan
-        return plan
 
     def predict(self, frame: np.ndarray) -> np.ndarray:
         """Segment one ``(3, H, W)`` frame -> ``(H, W)`` class indices.

@@ -128,11 +128,22 @@ class TeacherNet(Module):
         return self.head(y)
 
     def infer(self, frame: np.ndarray, label: Optional[np.ndarray] = None) -> np.ndarray:
-        """Argmax segmentation of one frame (label ignored; Teacher protocol)."""
+        """Argmax segmentation of one frame (label ignored; Teacher protocol).
+
+        Neural-teacher inference is the server's per-key-frame cost, so
+        it routes through a compiled engine plan like the student's
+        predict (the ROADMAP "engine coverage" item); the autograd path
+        remains as fallback and produces bit-identical logits.
+        """
+        x = frame[None] if frame.ndim == 3 else frame
+        plan = self.engine_plan("forward", (tuple(x.shape),))
+        if plan is not None:
+            (logits,) = plan.run(x)
+            return logits.argmax(axis=1)[0]
         was_training = self.training
         self.eval()
         with no_grad():
-            logits = self.forward(Tensor(frame[None] if frame.ndim == 3 else frame))
+            logits = self.forward(Tensor(x))
         self.train(was_training)
         return logits.data.argmax(axis=1)[0]
 

@@ -54,6 +54,9 @@ class Module:
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
         object.__setattr__(self, "training", True)
+        #: (kind, shapes) -> compiled plan | None; see :meth:`engine_plan`
+        #: and :meth:`invalidate_plans`.
+        object.__setattr__(self, "_engine_plans", {})
 
     # ------------------------------------------------------------------
     # Registration
@@ -200,6 +203,61 @@ class Module:
     # ------------------------------------------------------------------
     # Compiled-engine plan cache
     # ------------------------------------------------------------------
+    def _engine_fns(self) -> Dict[str, Callable]:
+        """Traced callables by plan kind.
+
+        The base vocabulary is ``"forward"`` (the whole module) and
+        ``"serve"`` (the whole module with per-sample batch-norm
+        statistics — the multi-session batched-inference semantics);
+        subclasses extend it with partial forwards and train steps
+        (:class:`~repro.models.student.StudentNet` does).
+        """
+        return {"forward": self.forward, "serve": self.forward}
+
+    def engine_plan(self, kind: str, shapes: Tuple[Tuple[int, ...], ...]):
+        """Fetch (compiling on first use) the engine plan for a geometry.
+
+        Returns ``None`` when the engine is disabled or the traced
+        graph is not compilable — callers fall back to the autograd
+        path.  Failed compilations are cached so the trace is not
+        retried per frame.  Keys embed both kind and shapes, so a
+        module's own ``n = 1`` plans and the serving pool's batched
+        plans coexist in one cache.
+        """
+        from repro import engine
+
+        if not engine.is_enabled():
+            return None
+        key = (kind, shapes)
+        cache = self._engine_plans
+        if key in cache:
+            return cache[key]
+        from repro.engine.compiler import compile_plan
+        from repro.engine.kernels import UntraceableError
+        from repro.engine.training import CompiledTrainStep
+
+        fns = self._engine_fns()
+        if kind not in fns:
+            raise KeyError(f"{type(self).__name__} has no {kind!r} engine plan")
+        examples = tuple(np.zeros(shape, dtype=np.float32) for shape in shapes)
+        # Trace in eval mode: tracing runs one real forward, and doing
+        # it in train mode would perturb batch-norm running statistics.
+        was_training = self.training
+        self.eval()
+        try:
+            if kind.startswith("train"):
+                plan = CompiledTrainStep(fns[kind], examples)
+            elif kind == "serve":
+                plan = compile_plan(fns[kind], examples, per_sample_stats=True)
+            else:
+                plan = compile_plan(fns[kind], examples)
+        except UntraceableError:
+            plan = None
+        finally:
+            self.train(was_training)
+        cache[key] = plan
+        return plan
+
     def invalidate_plans(self, weight_static_only: bool = False) -> None:
         """Drop compiled engine plans cached on this module tree.
 

@@ -9,8 +9,9 @@ Algorithm 3).  This module computes those payloads and their sizes.
 from __future__ import annotations
 
 import hashlib
+import struct
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +50,85 @@ def state_dict_digest(state: Dict[str, np.ndarray], prev: str = "") -> str:
         h.update(name.encode())
         h.update(array_digest(state[name]).encode())
     return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Raw ndarray wire framing (used by repro.transport.wire)
+# ----------------------------------------------------------------------
+# Layout (little-endian):  u8 dtype_len | dtype_str | u8 ndim |
+# u32 * ndim shape | u64 nbytes | raw C-order bytes.  The dtype string
+# is numpy's ``dtype.str`` (``'<f4'``, ``'|u1'``, ...), which pins byte
+# order, so a decoded array is byte-for-byte the encoded one.
+
+_ARRAY_LEN = struct.Struct("<Q")
+
+
+def array_wire_nbytes(array: np.ndarray) -> int:
+    """Encoded size of one array, header included."""
+    dt = array.dtype.str.encode("ascii")
+    return 1 + len(dt) + 1 + 4 * array.ndim + 8 + array.nbytes
+
+
+def write_array(buf: memoryview, offset: int, array: np.ndarray) -> int:
+    """Write ``array`` into ``buf`` at ``offset``; returns the new offset.
+
+    The payload bytes are copied exactly once, straight into the target
+    buffer (which for the shared-memory transport *is* the shared
+    segment — no intermediate pickle or bytes object ever exists).
+    """
+    if array.dtype.hasobject:
+        raise ValueError("object dtypes cannot cross the wire")
+    arr = np.asarray(array)
+    # ascontiguousarray promotes 0-d to 1-d: take the bytes from it but
+    # keep the original ndim/shape in the header so decode round-trips.
+    data = np.ascontiguousarray(arr)
+    dt = arr.dtype.str.encode("ascii")
+    if len(dt) > 255 or arr.ndim > 255:
+        raise ValueError("unencodable array header")
+    buf[offset] = len(dt)
+    offset += 1
+    buf[offset : offset + len(dt)] = dt
+    offset += len(dt)
+    buf[offset] = arr.ndim
+    offset += 1
+    for dim in arr.shape:
+        struct.pack_into("<I", buf, offset, dim)
+        offset += 4
+    _ARRAY_LEN.pack_into(buf, offset, arr.nbytes)
+    offset += 8
+    if arr.nbytes:
+        np.frombuffer(buf, np.uint8, arr.nbytes, offset)[:] = np.frombuffer(
+            data, np.uint8
+        )
+    return offset + arr.nbytes
+
+
+def read_array(buf: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+    """Decode one array from ``buf`` at ``offset``.
+
+    Returns ``(array, new_offset)``.  The array owns its memory (one
+    copy out of the buffer), so the caller may recycle ``buf`` — the
+    shared-memory ring does, slot by slot.
+    """
+    dt_len = buf[offset]
+    offset += 1
+    dtype = np.dtype(bytes(buf[offset : offset + dt_len]).decode("ascii"))
+    offset += dt_len
+    ndim = buf[offset]
+    offset += 1
+    shape = []
+    for _ in range(ndim):
+        shape.append(struct.unpack_from("<I", buf, offset)[0])
+        offset += 4
+    (nbytes,) = _ARRAY_LEN.unpack_from(buf, offset)
+    offset += 8
+    count = nbytes // dtype.itemsize if dtype.itemsize else 0
+    array = (
+        np.frombuffer(buf, dtype, count, offset).reshape(shape).copy()
+        if nbytes
+        else np.empty(shape, dtype)
+    )
+    return array, offset + nbytes
 
 
 def param_bytes(arrays: Iterable[np.ndarray]) -> int:

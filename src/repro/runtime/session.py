@@ -42,6 +42,13 @@ class SessionConfig:
     pretrain_steps: int = 80
     forced_delay_frames: Optional[int] = None
     teacher_boundary_noise: float = 0.0
+    #: Which registered transport carries the client/server protocol:
+    #: ``"inproc"`` (default) keeps the server in-process as before;
+    #: ``"pipe"`` / ``"shm"`` spawn a real server process and speak
+    #: Algorithm 3 over the selected link (see ``repro.transport``).
+    #: Simulated timing is identical either way — the transport moves
+    #: the actual payloads, the discrete-event clock models the link.
+    transport: str = "inproc"
 
 
 #: Cache of pre-trained student checkpoints keyed by (width, seed, steps,
@@ -77,6 +84,62 @@ def pretrained_student(
     return student
 
 
+def _remote_server_main(endpoint, config: SessionConfig, frame_hw) -> None:
+    """Algorithm 3 in a spawned server process (any real transport).
+
+    Builds the same deterministic server a local session would get —
+    same pre-trained checkpoint, same oracle teacher — so replies (and
+    therefore the client's ``RunStats``) are identical to the
+    in-process run.
+    """
+    student = pretrained_student(
+        config.student_width, config.student_seed, config.pretrain_steps, frame_hw
+    )
+    teacher = OracleTeacher(config.teacher_boundary_noise)
+    Server(student, teacher, config.distill, config.sizes).serve(endpoint)
+
+
+def _build_remote_session(
+    config: SessionConfig,
+    frame_hw: Tuple[int, int],
+    stride_policy: Optional[StridePolicy],
+) -> Client:
+    """Spawn a server process over ``config.transport`` and wire a
+    client to it through :class:`~repro.transport.remote.RemoteServer`."""
+    import functools
+
+    from repro.transport.registry import spawn_server
+    from repro.transport.remote import RemoteServer
+
+    endpoint, proc = spawn_server(
+        config.transport,
+        functools.partial(_remote_server_main, config=config, frame_hw=frame_hw),
+    )
+    remote = RemoteServer(endpoint, config.distill, config.sizes, process=proc)
+    try:
+        # The client's student comes over the wire (Algorithm 3's
+        # initial send), proving the state-dict path end to end; the
+        # values equal the shared pre-trained checkpoint, so behaviour
+        # matches inproc.
+        student = StudentNet(width=config.student_width, seed=config.student_seed)
+        student.load_state_dict(remote.recv_initial_state())
+        return Client(
+            student,
+            remote,
+            config.distill,
+            latency=config.latency,
+            network=config.network,
+            sizes=config.sizes,
+            stride_policy=stride_policy,
+            forced_delay_frames=config.forced_delay_frames,
+        )
+    except BaseException:
+        # A handshake failure (dead child, timeout) must not leak the
+        # spawned process or its shared-memory segments.
+        remote.close(join_timeout_s=5.0)
+        raise
+
+
 def build_session(
     config: SessionConfig,
     frame_hw: Tuple[int, int],
@@ -87,8 +150,20 @@ def build_session(
 
     The single factory behind :func:`run_shadowtutor`, the serving
     pool, and the perf benchmark — one place constructs sessions, so
-    the pooled path cannot drift from the single-session path.
+    the pooled path cannot drift from the single-session path.  With a
+    real transport in ``config.transport``, the server half lives in a
+    spawned process and the pair speaks the wire protocol instead of a
+    method call; callers must ``client.server.close()`` when done
+    (:meth:`SessionPool.run` and :func:`run_shadowtutor` do).
     """
+    if config.transport != "inproc":
+        if teacher is not None:
+            raise ValueError(
+                "custom teacher objects cannot cross a process boundary; "
+                "remote transports build their own OracleTeacher "
+                "(use transport='inproc' for custom teachers)"
+            )
+        return _build_remote_session(config, frame_hw, stride_policy)
     # Both server and client start from the same pre-trained checkpoint.
     server_student = pretrained_student(
         config.student_width, config.student_seed, config.pretrain_steps, frame_hw

@@ -153,11 +153,25 @@ class SessionPool:
 
     # ------------------------------------------------------------------
     def _build_sessions(self) -> List[_PooledSession]:
-        from repro.runtime.session import SessionConfig, build_session
-
         pooled = len(self.specs) > 1
         shared = SharedDistillation() if (pooled and self.share_server_work) else None
-        sessions = []
+        sessions: List[_PooledSession] = []
+        try:
+            self._build_into(sessions, shared, pooled)
+        except BaseException:
+            # A failure building session k must not leak the server
+            # processes sessions 0..k-1 already spawned.
+            for s in sessions:
+                close = getattr(s.client.server, "close", None)
+                if close is not None:
+                    close()
+            raise
+        self._shared = shared
+        return sessions
+
+    def _build_into(self, sessions, shared, pooled) -> None:
+        from repro.runtime.session import SessionConfig, build_session
+
         for index, spec in enumerate(self.specs):
             config = spec.config or SessionConfig()
             if spec.video is not None:
@@ -176,21 +190,37 @@ class SessionPool:
                 client.weight_version = state_dict_digest(
                     client.student.state_dict()
                 )
-                if shared is not None:
+                # Memoised distillation needs the server's trainer in
+                # this process; sessions on a real transport (remote
+                # server, see SessionConfig.transport) keep their own.
+                if shared is not None and hasattr(client.server, "distill"):
                     client.server.work_cache = shared
             client.begin(
                 spec.label
                 or (spec.video.config.name if spec.video is not None else f"session{index}")
             )
             sessions.append(_PooledSession(index, spec, client))
-        self._shared = shared
-        return sessions
 
     # ------------------------------------------------------------------
     def run(self) -> PoolResult:
         """Drive every session to completion; returns per-session stats,
-        the interleaving trace, and the amortisation counters."""
-        sessions = self._build_sessions()
+        the interleaving trace, and the amortisation counters.
+
+        Sessions on a real transport own a server process each; those
+        are shut down (sentinel, join, unlink) on the way out, success
+        or failure — including servers already spawned when building a
+        later session fails."""
+        sessions: List[_PooledSession] = []
+        try:
+            sessions = self._build_sessions()
+            return self._run(sessions)
+        finally:
+            for s in sessions:
+                close = getattr(s.client.server, "close", None)
+                if close is not None:
+                    close()
+
+    def _run(self, sessions: List[_PooledSession]) -> PoolResult:
         predictor = BatchedPredictor(
             batch=self.batch_predicts, dedup=self.dedup_identical_frames
         )

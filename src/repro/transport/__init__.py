@@ -1,0 +1,58 @@
+"""Zero-copy transport subsystem for the real client/server split.
+
+Three layers behind the :class:`~repro.comm.interface.Endpoint`
+abstraction the runtime already speaks:
+
+* :mod:`repro.transport.wire` — a versioned, pickle-free binary wire
+  format for every message of :mod:`repro.network.messages`, with
+  measured on-the-wire sizes that reconcile against ``MessageSizes``;
+* :mod:`repro.transport.shm` — a shared-memory slot ring
+  (sequence-counter handshakes, no locks or threads) that moves frame
+  and update payloads between processes with a single producer-side
+  copy into shared memory;
+* :mod:`repro.transport.link` — trace-driven link shaping: bundled
+  LTE/Wi-Fi-style bandwidth traces plus a generator, compiled into
+  simulated :class:`~repro.network.dynamic.DynamicNetworkModel`
+  schedules or replayed over real transports.
+
+:mod:`repro.transport.registry` names the transports (``inproc``,
+``pipe``, ``shm``) so runners and examples select the link with a
+string; :mod:`repro.transport.remote` adapts any real endpoint to the
+server surface :class:`~repro.runtime.client.Client` consumes.
+"""
+
+from repro.transport.link import (
+    BUNDLED_TRACES,
+    LinkTrace,
+    ShapedEndpoint,
+    bundled_trace,
+    generate_trace,
+)
+from repro.transport.registry import (
+    TransportDef,
+    available_transports,
+    get_transport,
+    make_pair,
+    register_transport,
+    spawn_server,
+)
+from repro.transport.remote import RemoteServer
+from repro.transport.shm import ShmRing, ShmTransport, spawn_shm_pair
+
+__all__ = [
+    "BUNDLED_TRACES",
+    "LinkTrace",
+    "ShapedEndpoint",
+    "bundled_trace",
+    "generate_trace",
+    "TransportDef",
+    "available_transports",
+    "get_transport",
+    "make_pair",
+    "register_transport",
+    "spawn_server",
+    "RemoteServer",
+    "ShmRing",
+    "ShmTransport",
+    "spawn_shm_pair",
+]

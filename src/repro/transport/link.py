@@ -1,0 +1,254 @@
+"""Trace-driven link shaping: recorded bandwidth replayed everywhere.
+
+The paper evaluates over a rate-limited mobile link (80 Mbps Wi-Fi in
+the testbed, LTE in the motivating deployment).  Our simulator already
+supports time-varying bandwidth (:class:`repro.network.dynamic.
+DynamicNetworkModel`); this module makes *scenarios* first-class so the
+same recorded link drives both worlds:
+
+* :class:`LinkTrace` — a named sequence of ``(time_s, bandwidth_mbps)``
+  samples, with bundled LTE- and Wi-Fi-style traces plus a seeded
+  generator (log-space random walk with dropout dips, the standard
+  shape of cellular bandwidth recordings);
+* :meth:`LinkTrace.to_network_model` — compiles a trace into a
+  ``DynamicNetworkModel`` schedule, so a *simulated* run consumes the
+  scenario through the usual ``Client(network=...)`` path;
+* :class:`ShapedEndpoint` — wraps a *real* transport endpoint and
+  withholds each received message until the trace says its bytes could
+  have arrived, using the transport's measured on-the-wire sizes
+  (``last_recv_nbytes``), so a two-process run replays the same
+  scenario on the wall clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.interface import Endpoint, Request
+from repro.network.dynamic import DynamicNetworkModel
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkTrace:
+    """A recorded (or generated) bandwidth trace for one link.
+
+    ``samples`` is a piecewise-constant schedule: ``(t_s, mbps)`` pairs
+    with strictly increasing times starting at 0 — the format
+    :class:`~repro.network.dynamic.DynamicNetworkModel` consumes
+    directly.
+    """
+
+    name: str
+    samples: Tuple[Tuple[float, float], ...]
+    base_latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("a trace needs at least one sample")
+        times = [t for t, _ in self.samples]
+        if times[0] != 0.0 or any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("samples must start at 0 with increasing times")
+        if any(bw <= 0 for _, bw in self.samples):
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples[-1][0]
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean([bw for _, bw in self.samples]))
+
+    @property
+    def min_mbps(self) -> float:
+        return float(min(bw for _, bw in self.samples))
+
+    def bandwidth_at(self, t: float) -> float:
+        """Bandwidth in effect at trace time ``t`` (clamped to the end)."""
+        current = self.samples[0][1]
+        for start, bw in self.samples:
+            if t >= start:
+                current = bw
+            else:
+                break
+        return current
+
+    def to_network_model(self) -> DynamicNetworkModel:
+        """Compile the trace into a simulated-clock bandwidth schedule."""
+        return DynamicNetworkModel(list(self.samples), self.base_latency_s)
+
+
+def generate_trace(
+    name: str,
+    duration_s: float = 120.0,
+    step_s: float = 2.0,
+    mean_mbps: float = 40.0,
+    sigma: float = 0.25,
+    floor_mbps: float = 2.0,
+    ceil_mbps: float = 200.0,
+    dip_probability: float = 0.0,
+    dip_mbps: float = 4.0,
+    seed: int = 0,
+) -> LinkTrace:
+    """Generate a bandwidth trace as a log-space random walk.
+
+    Cellular bandwidth recordings are well modelled by a multiplicative
+    random walk (rate changes are proportional, not additive) with
+    occasional deep dips (handover, congestion); ``dip_probability``
+    controls the latter.  Seeded, so a named trace is reproducible.
+    """
+    rng = np.random.default_rng(seed)
+    samples = []
+    level = float(mean_mbps)
+    t = 0.0
+    while t < duration_s:
+        if dip_probability and rng.random() < dip_probability:
+            bw = dip_mbps * float(rng.uniform(0.5, 1.5))
+        else:
+            level *= float(np.exp(rng.normal(0.0, sigma)))
+            # Mean-revert so long traces hover around mean_mbps.
+            level += 0.1 * (mean_mbps - level)
+            bw = level
+        samples.append((round(t, 3), round(min(max(bw, floor_mbps), ceil_mbps), 3)))
+        t += step_s
+    return LinkTrace(name, tuple(samples))
+
+
+def lte_trace(seed: int = 7, duration_s: float = 120.0) -> LinkTrace:
+    """LTE-style trace: volatile, dips under 10 Mbps, mean ~40 Mbps."""
+    return generate_trace(
+        "lte-drive", duration_s=duration_s, step_s=2.0,
+        mean_mbps=40.0, sigma=0.35, floor_mbps=3.0, ceil_mbps=120.0,
+        dip_probability=0.08, dip_mbps=6.0, seed=seed,
+    )
+
+
+def wifi_trace(seed: int = 3, duration_s: float = 120.0) -> LinkTrace:
+    """Wi-Fi-style trace: steady near the testbed's 80 Mbps cap with
+    occasional contention dips."""
+    return generate_trace(
+        "wifi-cafe", duration_s=duration_s, step_s=4.0,
+        mean_mbps=80.0, sigma=0.10, floor_mbps=20.0, ceil_mbps=90.0,
+        dip_probability=0.05, dip_mbps=25.0, seed=seed,
+    )
+
+
+#: Bundled scenarios: deterministic instances of the generator that the
+#: examples, experiments and tests share by name.
+BUNDLED_TRACES: Dict[str, LinkTrace] = {
+    "lte-drive": lte_trace(),
+    "wifi-cafe": wifi_trace(),
+}
+
+
+def bundled_trace(name: str) -> LinkTrace:
+    """Fetch a bundled trace by name (helpful error on a typo)."""
+    try:
+        return BUNDLED_TRACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace {name!r}; bundled: {sorted(BUNDLED_TRACES)}"
+        ) from None
+
+
+class _ShapedRecvRequest(Request):
+    """Inner receive plus the modeled transfer-time hold."""
+
+    def __init__(self, shaper: "ShapedEndpoint", inner: Request) -> None:
+        self._shaper = shaper
+        self._inner = inner
+        self._ready_at: Optional[float] = None
+
+    def _arm(self) -> None:
+        if self._ready_at is None:
+            self._ready_at = self._shaper._delivery_time(
+                self._shaper._measured_nbytes()
+            )
+
+    def test(self) -> bool:
+        if not self._inner.test():
+            return False
+        self._arm()
+        return self._shaper._clock() >= self._ready_at
+
+    def wait(self) -> Any:
+        payload = self._inner.wait()
+        self._arm()
+        self._shaper._sleep_until(self._ready_at)
+        return payload
+
+    def payload(self) -> Any:
+        return self._inner.payload()
+
+
+class ShapedEndpoint(Endpoint):
+    """Replay a :class:`LinkTrace` on top of a real transport.
+
+    Receives are withheld until ``arrival + transfer_time(nbytes, t)``
+    per the compiled schedule, where ``nbytes`` is the transport's
+    measured wire size (``last_recv_nbytes``) — the local hop itself is
+    microseconds, so the hold *is* the modeled link.  Sends pass
+    through untouched (the peer shapes its own receive side), keeping
+    the client's asynchronous dispatch semantics intact.
+
+    ``clock`` / ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        inner: Endpoint,
+        trace: LinkTrace,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not hasattr(inner, "last_recv_nbytes"):
+            raise TypeError(
+                "ShapedEndpoint needs a transport that measures wire sizes "
+                "(e.g. ShmTransport); the pickled pipe transport does not"
+            )
+        self.inner = inner
+        self.trace = trace
+        self._model = trace.to_network_model()
+        self._clock = clock
+        self._sleep = sleep
+        self._epoch = clock()
+
+    # ------------------------------------------------------------------
+    def _measured_nbytes(self) -> int:
+        return int(self.inner.last_recv_nbytes or 0)
+
+    def _delivery_time(self, nbytes: int) -> float:
+        now = self._clock()
+        elapsed = now - self._epoch
+        return now + self._model.transfer_time(nbytes, elapsed)
+
+    def _sleep_until(self, t: float) -> None:
+        while True:
+            remaining = t - self._clock()
+            if remaining <= 0:
+                return
+            self._sleep(remaining)
+
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, nbytes: int) -> None:
+        self.inner.send(obj, nbytes)
+
+    def isend(self, obj: Any, nbytes: int) -> Request:
+        return self.inner.isend(obj, nbytes)
+
+    def recv(self) -> Any:
+        payload = self.inner.recv()
+        self._sleep_until(self._delivery_time(self._measured_nbytes()))
+        return payload
+
+    def irecv(self) -> Request:
+        return _ShapedRecvRequest(self, self.inner.irecv())
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()

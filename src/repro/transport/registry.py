@@ -1,0 +1,121 @@
+"""Transport registry: every way two ShadowTutor peers can talk.
+
+One name-keyed table of transports, so runners, examples and benchmarks
+select the link with a string instead of importing a specific module:
+
+=========  ==========================================================
+name       what
+=========  ==========================================================
+``inproc`` deterministic simulated channel on the discrete-event
+           clock (:class:`repro.comm.inproc.SimulatedChannel`)
+``pipe``   real two-process transport, pickled over a
+           ``multiprocessing.Pipe`` (the legacy baseline)
+``shm``    shared-memory slot ring with the pickle-free wire format
+           (:mod:`repro.transport.shm`) — frames cross zero-copy
+=========  ==========================================================
+
+Each entry provides ``make_pair()`` (a connected endpoint pair in this
+process) and, for the real transports, ``spawn(target)`` (start
+``target(endpoint)`` in a child process and return the parent-side
+endpoint plus the process handle).  ``register_transport`` is public:
+a deployment can plug in sockets or RDMA without touching the runtime,
+which only ever sees :class:`~repro.comm.interface.Endpoint`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportDef:
+    """One registered transport."""
+
+    name: str
+    description: str
+    #: ``make_pair(**options) -> (endpoint_a, endpoint_b)``
+    make_pair: Callable[..., Tuple]
+    #: ``spawn(target, **options) -> (parent_endpoint, process)`` or
+    #: None when the transport cannot cross a process boundary.
+    spawn: Optional[Callable[..., Tuple]] = None
+
+
+_REGISTRY: Dict[str, TransportDef] = {}
+
+
+def register_transport(definition: TransportDef) -> None:
+    """Register (or replace) a transport under its name."""
+    _REGISTRY[definition.name] = definition
+
+
+def available_transports() -> List[str]:
+    """Sorted names of every registered transport."""
+    return sorted(_REGISTRY)
+
+
+def get_transport(name: str) -> TransportDef:
+    """Look up a transport; raises with the available names on a typo."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown transport {name!r}; available: {available_transports()}"
+        ) from None
+
+
+def make_pair(name: str, **options):
+    """Create a connected endpoint pair for transport ``name``."""
+    return get_transport(name).make_pair(**options)
+
+
+def spawn_server(name: str, target: Callable, **options):
+    """Start ``target(endpoint)`` in a subprocess over transport ``name``.
+
+    Returns ``(parent_endpoint, process)``; raises for transports that
+    only exist inside one process (``inproc``).
+    """
+    definition = get_transport(name)
+    if definition.spawn is None:
+        raise ValueError(f"transport {name!r} cannot spawn a server process")
+    return definition.spawn(target, **options)
+
+
+# ----------------------------------------------------------------------
+# Built-in transports
+# ----------------------------------------------------------------------
+def _inproc_pair(clock=None, network=None, accountant=None):
+    from repro.comm.inproc import SimulatedChannel
+    from repro.network.model import NetworkModel
+    from repro.runtime.clock import SimClock
+
+    channel = SimulatedChannel(
+        clock or SimClock(), network or NetworkModel(), accountant
+    )
+    return channel.client, channel.server
+
+
+def _register_builtins() -> None:
+    from repro.comm import mp as comm_mp
+    from repro.transport import shm
+
+    register_transport(TransportDef(
+        name="inproc",
+        description="simulated channel on the discrete-event clock",
+        make_pair=_inproc_pair,
+    ))
+    register_transport(TransportDef(
+        name="pipe",
+        description="two-process pickled multiprocessing.Pipe (legacy)",
+        make_pair=lambda **kw: comm_mp.spawn_pipe_pair(),
+        spawn=lambda target, **kw: comm_mp.run_in_subprocess(target),
+    ))
+    register_transport(TransportDef(
+        name="shm",
+        description="shared-memory slot ring, pickle-free wire format",
+        make_pair=shm.spawn_shm_pair,
+        spawn=shm.run_in_subprocess,
+    ))
+
+
+_register_builtins()

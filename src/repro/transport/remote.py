@@ -1,0 +1,123 @@
+"""Client-side proxy that puts a real transport behind the runtime.
+
+:class:`~repro.runtime.client.Client` only ever calls three things on
+its server — ``handle_key_frame``, ``service_time`` and
+``reply_bytes`` — so a remote server is just an object with the same
+surface whose key-frame handling crosses an
+:class:`~repro.comm.interface.Endpoint` instead of a method call.
+Algorithm 3 runs unmodified in the server process
+(:meth:`repro.runtime.server.Server.serve`); the proxy speaks its
+protocol: receive the initial student weights, then per key frame send
+``(frame, label)`` and receive a :class:`~repro.runtime.server.
+ServerReply`, finally send the ``None`` sentinel on close.
+
+Because the server-side trainer is deterministic and both sides start
+from the same pre-trained checkpoint, a session run through this proxy
+produces *identical* ``RunStats`` to the in-process run — the
+end-to-end transport property test asserts exactly that over the
+shared-memory transport.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.interface import Endpoint
+from repro.distill.config import DistillConfig, DistillMode
+from repro.network.messages import MessageSizes
+from repro.runtime.clock import LatencyModel
+from repro.runtime.server import ServerReply
+
+
+@dataclasses.dataclass(frozen=True)
+class RemoteTrainResult:
+    """The slice of ``TrainResult`` the client's timing model consumes."""
+
+    steps: int
+
+
+class RemoteServer:
+    """Stand-in for :class:`repro.runtime.server.Server` over a transport.
+
+    Parameters
+    ----------
+    endpoint:
+        Connected client-side endpoint; the peer runs ``Server.serve``.
+    process:
+        Optional child-process handle; joined by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        config: DistillConfig,
+        sizes: Optional[MessageSizes] = None,
+        process: Any = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.config = config
+        self.sizes = sizes or MessageSizes.paper()
+        self.process = process
+        #: Present for pool compatibility; memoised distillation cannot
+        #: cross a process boundary, so remote sessions never share it.
+        self.work_cache = None
+        self._closed = False
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the remote peer runs partial distillation."""
+        return self.config.mode is DistillMode.PARTIAL
+
+    # ------------------------------------------------------------------
+    def recv_initial_state(self) -> Dict[str, np.ndarray]:
+        """Receive the initial student weights Algorithm 3 sends first."""
+        return self.endpoint.recv()
+
+    def handle_key_frame(
+        self, frame: np.ndarray, label: Optional[np.ndarray] = None
+    ) -> Tuple[ServerReply, RemoteTrainResult]:
+        """Ship one key frame to the peer; blocks for its reply."""
+        self.endpoint.send((frame, label), nbytes=frame.nbytes)
+        reply = self.endpoint.recv()
+        if not isinstance(reply, ServerReply):
+            raise RuntimeError(
+                f"remote server sent {type(reply).__name__}, expected ServerReply"
+            )
+        return reply, RemoteTrainResult(steps=reply.steps)
+
+    def service_time(self, result: RemoteTrainResult, latency: LatencyModel) -> float:
+        """Same simulated pipeline cost as the in-process server."""
+        return latency.t_ti + result.steps * latency.t_sd(self.is_partial)
+
+    def reply_bytes(self) -> int:
+        """Paper-scale wire size of the student update (Table 4)."""
+        if self.is_partial:
+            return self.sizes.student_diff_partial
+        return self.sizes.student_full
+
+    # ------------------------------------------------------------------
+    def close(self, join_timeout_s: float = 30.0) -> None:
+        """Send the shutdown sentinel, join the server process, release
+        the transport.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # Bound the sentinel send: if the ring is wedged (dead
+            # peer), shutting down must not block a full transport
+            # timeout first.
+            if hasattr(self.endpoint, "timeout_s"):
+                self.endpoint.timeout_s = min(
+                    self.endpoint.timeout_s, join_timeout_s
+                )
+            self.endpoint.send(None, nbytes=1)
+        except Exception:
+            pass  # peer already gone; still join and release below
+        if self.process is not None:
+            self.process.join(timeout=join_timeout_s)
+        close = getattr(self.endpoint, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,378 @@
+"""Shared-memory ring transport: zero-copy frames across processes.
+
+The pipe transport pickles whole frames and state dicts through a
+``multiprocessing.Pipe`` — every payload is serialized into a bytes
+object, pushed through a kernel buffer, and unpickled on the far side.
+This module replaces that with a pair of single-producer /
+single-consumer rings living in ``multiprocessing.shared_memory``:
+
+* each ring is a sequence table plus N fixed-size slots;
+* the producer encodes a message **directly into the slot** with the
+  pickle-free wire format (:mod:`repro.transport.wire`) — for a video
+  frame that is one ``memcpy`` into shared memory, nothing else;
+* the consumer decodes arrays straight out of the slot (one copy into
+  the result array) and releases it;
+* publication is a per-slot *sequence counter* handshake (the classic
+  Lamport/Disruptor scheme): slot ``i`` starts at sequence ``i``; the
+  writer of message ``n`` claims slot ``n % N`` when its sequence reads
+  ``n`` and publishes by storing ``n + 1``; the reader consumes at
+  ``n + 1`` and releases by storing ``n + N``.  One aligned 8-byte
+  store per side is the entire synchronisation protocol — no locks, no
+  semaphores, no threads.
+
+Messages larger than a slot are fragmented over consecutive slots; the
+wire header's total length on the first fragment tells the reader how
+many to reassemble.  Both sides spin briefly and then sleep in 50 µs
+naps, with a hard deadline so a lost peer raises ``TimeoutError``
+instead of hanging a test run.
+
+Memory-ordering scope: publication relies on the payload stores being
+visible before the sequence-counter store, which plain (fence-free)
+stores guarantee on x86's total-store-order model — the architecture
+this reproduction targets.  Weakly-ordered ISAs (aarch64, POWER)
+would need release/acquire fences around the counter, which pure
+Python cannot express; a port would publish the counter through an
+atomics-capable extension.  The wire header's magic/version check
+makes a reordered read fail loudly (``WireError``) rather than decode
+silently corrupt data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing import shared_memory
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.interface import Endpoint, Request
+from repro.transport import wire
+
+#: Default ring geometry: 4 slots of 1 MiB holds a reduced-resolution
+#: frame in one slot and fragments HD-scale payloads across a few.
+DEFAULT_SLOTS = 4
+DEFAULT_SLOT_NBYTES = 1 << 20
+
+#: ``sleep(0)`` yields before escalating to naps: on a loaded (or
+#: single-core) box the yield hands the CPU straight to the peer that
+#: is producing our data — a pure hot spin would steal the very core
+#: the peer needs and add a scheduler quantum of latency per message.
+#: A peer off training for seconds costs us only 50 µs reaction
+#: latency once the wait escalates to naps.
+_YIELD_SPINS = 512
+_NAP_S = 50e-6
+
+
+class ShmRing:
+    """One direction of the link: an SPSC slot ring in shared memory.
+
+    ``describe()`` / ``attach()`` carry the segment name and geometry
+    across a process boundary, so the child re-maps the same physical
+    pages rather than receiving any data through pickling.
+    """
+
+    def __init__(
+        self,
+        slots: int = DEFAULT_SLOTS,
+        slot_nbytes: int = DEFAULT_SLOT_NBYTES,
+        name: Optional[str] = None,
+    ) -> None:
+        if slots < 2:
+            raise ValueError("a ring needs at least 2 slots")
+        if slot_nbytes < 4 * wire.HEADER_NBYTES:
+            raise ValueError("slots must hold at least a wire header")
+        self.slots = slots
+        self.slot_nbytes = slot_nbytes
+        self._stride = 8 + slot_nbytes  # u64 fragment length + payload
+        total = 8 * slots + self._stride * slots
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=total)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        buf = self._shm.buf
+        self._seq = np.ndarray((slots,), np.uint64, buf)
+        base = 8 * slots
+        self._lens = [
+            np.ndarray((), np.uint64, buf, base + i * self._stride)
+            for i in range(slots)
+        ]
+        self._payloads = [
+            buf[base + i * self._stride + 8 : base + (i + 1) * self._stride]
+            for i in range(slots)
+        ]
+        if self._owner:
+            self._seq[:] = np.arange(slots, dtype=np.uint64)
+        #: Producer/consumer cursors are process-local: each ring has
+        #: exactly one producer and one consumer process.
+        self._head = 0
+        self._tail = 0
+        self._scratch = bytearray()
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def describe(self) -> Tuple[str, int, int]:
+        """(segment name, slots, slot bytes) — enough to attach."""
+        return (self._shm.name, self.slots, self.slot_nbytes)
+
+    @classmethod
+    def attach(cls, desc: Tuple[str, int, int]) -> "ShmRing":
+        name, slots, slot_nbytes = desc
+        return cls(slots=slots, slot_nbytes=slot_nbytes, name=name)
+
+    # ------------------------------------------------------------------
+    def _await_seq(self, index: int, want: int, deadline: float) -> None:
+        seq = self._seq
+        slot = index % self.slots
+        spins = 0
+        while seq[slot] != want:
+            spins += 1
+            if spins < _YIELD_SPINS:
+                time.sleep(0)
+                continue
+            if (spins & 63) == 0 and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"shm ring handshake timed out waiting for slot {slot} "
+                    f"(seq {int(seq[slot])}, want {want})"
+                )
+            time.sleep(_NAP_S)
+
+    # -- producer side -------------------------------------------------
+    def send_message(self, obj: wire.Message, timeout_s: float) -> int:
+        """Encode and publish one message; returns its wire size."""
+        deadline = time.monotonic() + timeout_s
+        total = wire.encoded_nbytes(obj)
+        if total <= self.slot_nbytes:
+            # Fast path: encode straight into the shared slot.
+            self._await_seq(self._head, self._head, deadline)
+            slot = self._head % self.slots
+            wire.encode_into(obj, self._payloads[slot])
+            self._lens[slot][...] = total
+            self._seq[slot] = self._head + 1
+            self._head += 1
+            return total
+        # Large message: encode once into local scratch, stream the
+        # fragments through consecutive slots.
+        if len(self._scratch) < total:
+            self._scratch = bytearray(total)
+        view = memoryview(self._scratch)
+        wire.encode_into(obj, view)
+        offset = 0
+        while offset < total:
+            self._await_seq(self._head, self._head, deadline)
+            slot = self._head % self.slots
+            n = min(self.slot_nbytes, total - offset)
+            self._payloads[slot][:n] = view[offset : offset + n]
+            self._lens[slot][...] = n
+            self._seq[slot] = self._head + 1
+            self._head += 1
+            offset += n
+        return total
+
+    # -- consumer side -------------------------------------------------
+    def poll(self) -> bool:
+        """True when the next message's first fragment is published."""
+        return bool(self._seq[self._tail % self.slots] == self._tail + 1)
+
+    def _release(self) -> None:
+        slot = self._tail % self.slots
+        self._seq[slot] = self._tail + self.slots
+        self._tail += 1
+
+    def recv_message(self, timeout_s: float) -> Tuple[wire.Message, int]:
+        """Consume one message; returns ``(payload, wire nbytes)``."""
+        deadline = time.monotonic() + timeout_s
+        self._await_seq(self._tail, self._tail + 1, deadline)
+        slot = self._tail % self.slots
+        n = int(self._lens[slot][()])
+        first = self._payloads[slot][:n]
+        total = wire.peek_total(first)
+        if total <= n:
+            obj = wire.decode(first)
+            self._release()
+            return obj, total
+        # Reassemble a fragmented message.
+        if len(self._scratch) < total:
+            self._scratch = bytearray(total)
+        view = memoryview(self._scratch)
+        view[:n] = first
+        self._release()
+        offset = n
+        while offset < total:
+            self._await_seq(self._tail, self._tail + 1, deadline)
+            slot = self._tail % self.slots
+            n = int(self._lens[slot][()])
+            view[offset : offset + n] = self._payloads[slot][:n]
+            self._release()
+            offset += n
+        return wire.decode(view[:total]), total
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Drop the mapping; the creating side also unlinks the segment."""
+        if self._shm is None:
+            return
+        # Views into the shared buffer must die before the mmap can
+        # close (CPython refcounting makes the drop immediate).
+        self._seq = None
+        self._lens = None
+        for view in self._payloads or ():
+            view.release()
+        self._payloads = None
+        shm, self._shm = self._shm, None
+        shm.close()
+        if unlink if unlink is not None else self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # peer already unlinked
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class _CompletedSend(Request):
+    """Ring sends complete once the payload is published."""
+
+    def __init__(self, obj: Any) -> None:
+        self._obj = obj
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self) -> Any:
+        return self._obj
+
+    def payload(self) -> Any:
+        return self._obj
+
+
+class _ShmRecvRequest(Request):
+    """Polls the receive ring for the next message."""
+
+    def __init__(self, transport: "ShmTransport") -> None:
+        self._transport = transport
+        self._payload: Any = None
+        self._done = False
+
+    def test(self) -> bool:
+        if not self._done and self._transport._rx.poll():
+            self._payload = self._transport.recv()
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._payload = self._transport.recv()
+            self._done = True
+        return self._payload
+
+    def payload(self) -> Any:
+        return self._payload
+
+
+class ShmTransport(Endpoint):
+    """Endpoint over a (tx, rx) pair of shared-memory rings.
+
+    Implements the same blocking/non-blocking surface as the other
+    transports; ``last_recv_nbytes`` exposes the measured on-the-wire
+    size of the most recent receive, which the trace-driven link shaper
+    (:class:`repro.transport.link.ShapedEndpoint`) uses to replay
+    recorded bandwidth on real transfers.
+    """
+
+    def __init__(self, tx: ShmRing, rx: ShmRing, timeout_s: float = 120.0) -> None:
+        self._tx = tx
+        self._rx = rx
+        self.timeout_s = timeout_s
+        #: Wire size of the last message received (None before any).
+        self.last_recv_nbytes: Optional[int] = None
+
+    def send(self, obj: Any, nbytes: int) -> None:
+        del nbytes  # the wire format measures the real size itself
+        self._tx.send_message(obj, self.timeout_s)
+
+    def recv(self) -> Any:
+        obj, measured = self._rx.recv_message(self.timeout_s)
+        self.last_recv_nbytes = measured
+        return obj
+
+    def isend(self, obj: Any, nbytes: int) -> Request:
+        self.send(obj, nbytes)
+        return _CompletedSend(obj)
+
+    def irecv(self) -> Request:
+        return _ShmRecvRequest(self)
+
+    def close(self) -> None:
+        self._tx.close()
+        self._rx.close()
+
+
+def spawn_shm_pair(
+    slots: int = DEFAULT_SLOTS,
+    slot_nbytes: int = DEFAULT_SLOT_NBYTES,
+    timeout_s: float = 120.0,
+) -> Tuple[ShmTransport, ShmTransport]:
+    """Create a connected (client_endpoint, server_endpoint) pair.
+
+    The first endpoint owns the segments: close it last (its ``close``
+    unlinks).  Used in-process by the tests and as the building block of
+    :func:`run_in_subprocess`.
+
+    Note the ring buffers at most ``slots * slot_nbytes`` bytes: with
+    both endpoints in one thread (tests), a blocking ``send`` larger
+    than that cannot complete until the peer drains — size the ring to
+    the message, as a real deployment does.  Across processes the
+    consumer drains concurrently and any message size streams through.
+    """
+    up = ShmRing(slots, slot_nbytes)      # client -> server
+    down = ShmRing(slots, slot_nbytes)    # server -> client
+    client = ShmTransport(tx=up, rx=down, timeout_s=timeout_s)
+    server = ShmTransport(
+        tx=ShmRing.attach(down.describe()), rx=ShmRing.attach(up.describe()),
+        timeout_s=timeout_s,
+    )
+    return client, server
+
+
+def _child_entry(target: Callable, up_desc, down_desc, timeout_s: float) -> None:
+    endpoint = ShmTransport(
+        tx=ShmRing.attach(down_desc), rx=ShmRing.attach(up_desc),
+        timeout_s=timeout_s,
+    )
+    try:
+        target(endpoint)
+    finally:
+        endpoint.close()
+
+
+def run_in_subprocess(
+    target: Callable[[ShmTransport], None],
+    slots: int = DEFAULT_SLOTS,
+    slot_nbytes: int = DEFAULT_SLOT_NBYTES,
+    timeout_s: float = 120.0,
+) -> Tuple[ShmTransport, mp.Process]:
+    """Start ``target(endpoint)`` in a child process over shm rings.
+
+    Mirrors :func:`repro.comm.mp.run_in_subprocess`: returns the
+    parent-side endpoint and the process handle; the caller joins the
+    process when the protocol finishes and then closes the endpoint
+    (which unlinks the segments).
+    """
+    up = ShmRing(slots, slot_nbytes)
+    down = ShmRing(slots, slot_nbytes)
+    proc = mp.Process(
+        target=_child_entry,
+        args=(target, up.describe(), down.describe(), timeout_s),
+        daemon=True,
+    )
+    proc.start()
+    return ShmTransport(tx=up, rx=down, timeout_s=timeout_s), proc

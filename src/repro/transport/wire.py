@@ -1,0 +1,247 @@
+"""Versioned, pickle-free binary wire format for ShadowTutor messages.
+
+Everything that crosses the client/server link in the real two-process
+protocol (the message catalogue of :mod:`repro.network.messages`) has a
+binary frame here:
+
+=============  ====================================================
+kind           payload
+=============  ====================================================
+``SHUTDOWN``   none (the ``None`` sentinel that ends Algorithm 3)
+``STATE``      a state dict — initial weights or a full student
+``FRAME``      a key frame plus its optional renderer label
+``REPLY``      :class:`~repro.runtime.server.ServerReply` (metric,
+               steps, initial metric, update diff)
+``PRED``       a teacher prediction (the naive-offloading downlink)
+=============  ====================================================
+
+Every message is ``MAGIC | version | kind | u64 total_len | body``;
+arrays are framed by :func:`repro.nn.serialize.write_array` — a typed
+header plus the raw C-order bytes, so a decode is bit-identical to the
+encode for every dtype, shape and byte order.  ``total_len`` makes the
+stream self-delimiting: the shared-memory ring fragments large messages
+across slots and reassembles them by reading the first fragment's
+header.
+
+Encoding is allocation-disciplined: :func:`encode_into` writes straight
+into a caller-provided buffer (the shm transport hands it a slot of the
+shared segment, so a frame is copied exactly once, producer-side), and
+:func:`encoded_nbytes` sizes a message without encoding it — which is
+also what reconciles wire sizes against the paper-scale accounting of
+:class:`~repro.network.messages.MessageSizes` in the property tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.serialize import array_wire_nbytes, read_array, write_array
+from repro.runtime.server import ServerReply
+
+MAGIC = b"ST"
+VERSION = 1
+
+KIND_SHUTDOWN = 0
+KIND_STATE = 1
+KIND_FRAME = 2
+KIND_REPLY = 3
+KIND_PRED = 4
+
+_HEADER = struct.Struct("<2sBBQ")  # magic, version, kind, total_len
+HEADER_NBYTES = _HEADER.size
+
+_REPLY_HEAD = struct.Struct("<ddI")  # metric, initial_metric, steps
+_COUNT = struct.Struct("<I")
+_NAME_LEN = struct.Struct("<H")
+
+#: Messages the format understands (see module docstring).
+Message = Union[None, Dict[str, np.ndarray], Tuple, ServerReply, np.ndarray]
+
+
+class WireError(ValueError):
+    """A buffer does not hold a well-formed wire message."""
+
+
+def _kind_of(obj: Message) -> int:
+    if obj is None:
+        return KIND_SHUTDOWN
+    if isinstance(obj, ServerReply):
+        return KIND_REPLY
+    if isinstance(obj, dict):
+        return KIND_STATE
+    if isinstance(obj, tuple):
+        if len(obj) != 2 or not isinstance(obj[0], np.ndarray):
+            raise WireError("tuple messages must be (frame, label-or-None)")
+        return KIND_FRAME
+    if isinstance(obj, np.ndarray):
+        return KIND_PRED
+    raise WireError(f"no wire encoding for {type(obj).__name__}")
+
+
+def _state_nbytes(state: Dict[str, np.ndarray]) -> int:
+    total = _COUNT.size
+    for name, value in state.items():
+        total += _NAME_LEN.size + len(name.encode()) + array_wire_nbytes(
+            np.asarray(value)
+        )
+    return total
+
+
+def payload_nbytes(obj: Message) -> int:
+    """Raw array bytes carried by a message (no framing at all).
+
+    This is the quantity :class:`~repro.network.messages.MessageSizes`
+    models; ``encoded_nbytes(obj) - payload_nbytes(obj)`` is the exact
+    framing overhead, which the wire property tests pin to a fraction
+    of a percent on every real payload.
+    """
+    kind = _kind_of(obj)
+    if kind == KIND_SHUTDOWN:
+        return 0
+    if kind == KIND_PRED:
+        return obj.nbytes
+    if kind == KIND_FRAME:
+        frame, label = obj
+        return frame.nbytes + (0 if label is None else np.asarray(label).nbytes)
+    state = obj.update if kind == KIND_REPLY else obj
+    return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+def encoded_nbytes(obj: Message) -> int:
+    """Total on-the-wire size of a message, header and framing included."""
+    kind = _kind_of(obj)
+    total = HEADER_NBYTES
+    if kind == KIND_STATE:
+        total += _state_nbytes(obj)
+    elif kind == KIND_FRAME:
+        frame, label = obj
+        total += 1 + array_wire_nbytes(frame)
+        if label is not None:
+            total += array_wire_nbytes(np.asarray(label))
+    elif kind == KIND_REPLY:
+        total += _REPLY_HEAD.size + _state_nbytes(obj.update)
+    elif kind == KIND_PRED:
+        total += array_wire_nbytes(obj)
+    return total
+
+
+def _write_state(buf: memoryview, offset: int, state: Dict[str, np.ndarray]) -> int:
+    _COUNT.pack_into(buf, offset, len(state))
+    offset += _COUNT.size
+    for name, value in state.items():
+        encoded = name.encode()
+        _NAME_LEN.pack_into(buf, offset, len(encoded))
+        offset += _NAME_LEN.size
+        buf[offset : offset + len(encoded)] = encoded
+        offset += len(encoded)
+        offset = write_array(buf, offset, np.asarray(value))
+    return offset
+
+
+def _read_state(buf: memoryview, offset: int) -> Tuple["OrderedDict[str, np.ndarray]", int]:
+    (count,) = _COUNT.unpack_from(buf, offset)
+    offset += _COUNT.size
+    state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for _ in range(count):
+        (name_len,) = _NAME_LEN.unpack_from(buf, offset)
+        offset += _NAME_LEN.size
+        name = bytes(buf[offset : offset + name_len]).decode()
+        offset += name_len
+        state[name], offset = read_array(buf, offset)
+    return state, offset
+
+
+def encode_into(obj: Message, buf: memoryview) -> int:
+    """Encode ``obj`` into ``buf``; returns the bytes written.
+
+    ``buf`` must hold at least :func:`encoded_nbytes` bytes — the shm
+    ring passes a slot view so the payload lands directly in shared
+    memory.
+    """
+    kind = _kind_of(obj)
+    total = encoded_nbytes(obj)
+    if len(buf) < total:
+        raise WireError(f"buffer of {len(buf)} bytes cannot hold {total}")
+    _HEADER.pack_into(buf, 0, MAGIC, VERSION, kind, total)
+    offset = HEADER_NBYTES
+    if kind == KIND_STATE:
+        offset = _write_state(buf, offset, obj)
+    elif kind == KIND_FRAME:
+        frame, label = obj
+        buf[offset] = 0 if label is None else 1
+        offset += 1
+        offset = write_array(buf, offset, frame)
+        if label is not None:
+            offset = write_array(buf, offset, np.asarray(label))
+    elif kind == KIND_REPLY:
+        _REPLY_HEAD.pack_into(buf, offset, obj.metric, obj.initial_metric, obj.steps)
+        offset += _REPLY_HEAD.size
+        offset = _write_state(buf, offset, obj.update)
+    elif kind == KIND_PRED:
+        offset = write_array(buf, offset, obj)
+    assert offset == total, "encoder wrote a different size than it declared"
+    return total
+
+
+def encode(obj: Message) -> bytes:
+    """Encode ``obj`` into a fresh bytes object (tests, pipes)."""
+    buf = bytearray(encoded_nbytes(obj))
+    encode_into(obj, memoryview(buf))
+    return bytes(buf)
+
+
+def peek_total(buf: memoryview) -> int:
+    """Validate the header at ``buf[0:]`` and return the message's
+    total length — what the ring reads off a first fragment to know how
+    many slots the message spans."""
+    if len(buf) < HEADER_NBYTES:
+        raise WireError("buffer shorter than a wire header")
+    magic, version, kind, total = _HEADER.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    if kind not in (KIND_SHUTDOWN, KIND_STATE, KIND_FRAME, KIND_REPLY, KIND_PRED):
+        raise WireError(f"unknown message kind {kind}")
+    return total
+
+
+def decode(buf: Union[bytes, bytearray, memoryview]) -> Message:
+    """Decode one message; inverse of :func:`encode` / :func:`encode_into`.
+
+    Decoded arrays own their memory (copied out of ``buf``), so ring
+    slots can be released immediately after decoding.
+    """
+    buf = memoryview(buf)
+    total = peek_total(buf)
+    if len(buf) < total:
+        raise WireError(f"truncated message: have {len(buf)} of {total} bytes")
+    kind = buf[3]
+    offset = HEADER_NBYTES
+    if kind == KIND_SHUTDOWN:
+        return None
+    if kind == KIND_STATE:
+        state, _ = _read_state(buf, offset)
+        return state
+    if kind == KIND_FRAME:
+        has_label = buf[offset]
+        offset += 1
+        frame, offset = read_array(buf, offset)
+        label: Optional[np.ndarray] = None
+        if has_label:
+            label, offset = read_array(buf, offset)
+        return frame, label
+    if kind == KIND_REPLY:
+        metric, initial_metric, steps = _REPLY_HEAD.unpack_from(buf, offset)
+        offset += _REPLY_HEAD.size
+        update, _ = _read_state(buf, offset)
+        return ServerReply(
+            update=update, metric=metric, steps=int(steps),
+            initial_metric=initial_metric,
+        )
+    pred, _ = read_array(buf, offset)
+    return pred

@@ -1,0 +1,132 @@
+"""Engine coverage for the neural teacher (ROADMAP "Engine coverage").
+
+``TeacherNet`` is built from ``Sequential`` chains; with the avg-pool
+kernel added, every op the teacher family uses lowers to engine
+kernels.  These tests pin bit-identity of compiled teacher inference
+against the autograd path, and the avg-pool kernel's forward/backward
+against its autograd twin.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.compiler import compile_plan
+from repro.engine.kernels import AvgPool2dStep, UntraceableError
+from repro.models.teacher import TeacherNet
+from repro.nn.layers import AvgPool2d, BatchNorm2d, Conv2d, ReLU, Sequential
+from repro.nn.module import Module
+
+
+@pytest.fixture
+def frame(rng=None):
+    return np.random.default_rng(0).random((3, 32, 48)).astype(np.float32)
+
+
+class TestTeacherNetCompiles:
+    def test_forward_plan_compiles(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        plan = teacher.engine_plan("forward", ((1, 3, 32, 48),))
+        assert plan is not None, "TeacherNet no longer compiles"
+        assert plan.num_kernels > 0
+
+    def test_logits_bitwise_identical_to_autograd(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        plan = teacher.engine_plan("forward", ((1, 3, 32, 48),))
+        (logits,) = plan.run(frame[None])
+        teacher.eval()
+        with no_grad():
+            ref = teacher.forward(Tensor(frame[None])).data
+        assert ref.shape == logits.shape
+        assert ref.tobytes() == logits.tobytes()
+
+    def test_infer_argmax_identical_to_autograd(self, frame):
+        teacher = TeacherNet(width=8, seed=1)
+        got = teacher.infer(frame)
+        with engine.disabled():
+            ref = teacher.infer(frame)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_infer_uses_compiled_plan(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        teacher.infer(frame)
+        key = ("forward", ((1, 3, 32, 48),))
+        assert teacher._engine_plans.get(key) is not None
+
+    def test_engine_disabled_returns_no_plan(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        with engine.disabled():
+            assert teacher.engine_plan("forward", ((1, 3, 32, 48),)) is None
+
+    def test_infer_preserves_training_mode(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        teacher.train(True)
+        teacher.infer(frame)
+        assert teacher.training
+
+    def test_unknown_plan_kind_raises(self):
+        teacher = TeacherNet(width=8, seed=0)
+        with pytest.raises(KeyError):
+            teacher.engine_plan("train_back", ((1, 3, 32, 48),))
+
+
+class _PoolNet(Module):
+    """Sequential chain with average pooling (encoder-pool-decoder)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.body = Sequential(
+            Conv2d(3, 8, 3, rng=rng), BatchNorm2d(8), ReLU(),
+            AvgPool2d(2),
+            Conv2d(8, 8, 3, rng=rng), ReLU(),
+            AvgPool2d(2),
+            Conv2d(8, 5, 1, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class TestAvgPoolKernel:
+    def test_sequential_avgpool_net_bitwise(self):
+        net = _PoolNet()
+        x = np.random.default_rng(3).random((1, 3, 16, 24)).astype(np.float32)
+        plan = net.engine_plan("forward", ((1, 3, 16, 24),))
+        assert plan is not None
+        (got,) = plan.run(x)
+        net.eval()
+        with no_grad():
+            ref = net.forward(Tensor(x)).data
+        assert got.shape == ref.shape == (1, 5, 4, 6)
+        assert got.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_step_forward_matches_autograd(self, k):
+        x = np.random.default_rng(4).random((2, 3, 8, 8)).astype(np.float32)
+        step = AvgPool2dStep(0, 1, x.shape, k, training=False)
+        env = [x, None]
+        step.forward(env)
+        ref = Tensor(x).avg_pool2d(k).data
+        assert env[1].tobytes() == ref.tobytes()
+
+    def test_step_backward_matches_autograd(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((2, 3, 8, 12)).astype(np.float32)
+        upstream = rng.random((2, 3, 4, 6)).astype(np.float32)
+
+        t = Tensor(x, requires_grad=True)
+        out = t.avg_pool2d(2)
+        out.backward(upstream)
+
+        step = AvgPool2dStep(0, 1, x.shape, 2, training=True)
+        env = [x, None]
+        step.forward(env)
+        gbufs = [np.zeros_like(x), upstream.copy()]
+        step.backward(env, gbufs)
+        assert gbufs[0].tobytes() == t.grad.tobytes()
+
+    def test_indivisible_geometry_raises(self):
+        with pytest.raises(UntraceableError):
+            AvgPool2dStep(0, 1, (1, 3, 7, 8), 2, training=False)

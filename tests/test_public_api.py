@@ -52,6 +52,12 @@ PUBLIC_MODULES = [
     "repro.comm.interface",
     "repro.comm.inproc",
     "repro.comm.mp",
+    "repro.transport",
+    "repro.transport.wire",
+    "repro.transport.shm",
+    "repro.transport.link",
+    "repro.transport.registry",
+    "repro.transport.remote",
     "repro.runtime",
     "repro.runtime.clock",
     "repro.runtime.stats",

@@ -1,0 +1,163 @@
+"""Tests for trace-driven link shaping.
+
+Traces validate and compile into ``DynamicNetworkModel`` schedules;
+the generator is deterministic per seed; the bundled scenarios exist;
+``ShapedEndpoint`` replays a trace over a real transport (driven here
+by an injected fake clock, so the test is deterministic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.dynamic import DynamicNetworkModel
+from repro.transport.link import (
+    BUNDLED_TRACES,
+    LinkTrace,
+    ShapedEndpoint,
+    bundled_trace,
+    generate_trace,
+    lte_trace,
+    wifi_trace,
+)
+from repro.transport.shm import spawn_shm_pair
+
+
+class TestLinkTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkTrace("empty", ())
+        with pytest.raises(ValueError):
+            LinkTrace("late-start", ((1.0, 10.0),))
+        with pytest.raises(ValueError):
+            LinkTrace("unsorted", ((0.0, 10.0), (2.0, 5.0), (1.0, 8.0)))
+        with pytest.raises(ValueError):
+            LinkTrace("nonpositive", ((0.0, 0.0),))
+
+    def test_bandwidth_lookup(self):
+        trace = LinkTrace("t", ((0.0, 10.0), (5.0, 2.0), (10.0, 40.0)))
+        assert trace.bandwidth_at(0.0) == 10.0
+        assert trace.bandwidth_at(4.9) == 10.0
+        assert trace.bandwidth_at(5.0) == 2.0
+        assert trace.bandwidth_at(99.0) == 40.0  # clamped past the end
+        assert trace.min_mbps == 2.0
+        assert trace.duration_s == 10.0
+
+    def test_compiles_to_dynamic_network_model(self):
+        trace = LinkTrace("t", ((0.0, 10.0), (5.0, 2.0)), base_latency_s=0.004)
+        model = trace.to_network_model()
+        assert isinstance(model, DynamicNetworkModel)
+        assert model.base_latency_s == 0.004
+        for t in (0.0, 3.0, 5.0, 7.5):
+            assert model.bandwidth_at(t) == trace.bandwidth_at(t)
+        # A transfer spanning the drop takes longer than at the first
+        # rate and shorter than at the dropped rate.
+        nbytes = 10_000_000  # 80 Mb: 8 s at 10 Mbps, 40 s at 2 Mbps
+        duration = model.transfer_time(nbytes, now=0.0)
+        assert 8.0 < duration < 40.0 + model.base_latency_s
+
+    def test_generator_deterministic_per_seed(self):
+        a = generate_trace("g", seed=5)
+        b = generate_trace("g", seed=5)
+        c = generate_trace("g", seed=6)
+        assert a.samples == b.samples
+        assert a.samples != c.samples
+
+    def test_generator_respects_bounds(self):
+        trace = generate_trace(
+            "bounded", duration_s=400.0, floor_mbps=5.0, ceil_mbps=50.0,
+            dip_probability=0.2, dip_mbps=6.0, seed=1,
+        )
+        bws = [bw for _, bw in trace.samples]
+        assert min(bws) >= 5.0
+        assert max(bws) <= 50.0
+
+    def test_bundled_traces(self):
+        assert set(BUNDLED_TRACES) == {"lte-drive", "wifi-cafe"}
+        for trace in BUNDLED_TRACES.values():
+            trace.to_network_model()  # compiles cleanly
+        assert bundled_trace("lte-drive").samples == lte_trace().samples
+        assert bundled_trace("wifi-cafe").samples == wifi_trace().samples
+        with pytest.raises(KeyError, match="lte-drive"):
+            bundled_trace("5g-lab")
+        # The LTE scenario is genuinely harsher than the Wi-Fi one.
+        assert bundled_trace("lte-drive").min_mbps < bundled_trace("wifi-cafe").min_mbps
+
+
+class _FakeTime:
+    """Deterministic clock: sleep() advances it exactly."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+        self.sleeps = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, dt: float) -> None:
+        self.sleeps.append(dt)
+        self.now += dt
+
+
+class TestShapedEndpoint:
+    def _shaped_pair(self, trace, fake):
+        # Slots sized so the 1 MB test payload fits the ring with both
+        # endpoints on one thread (see spawn_shm_pair's note).
+        a, b = spawn_shm_pair(slots=4, slot_nbytes=1 << 20, timeout_s=5.0)
+        shaped = ShapedEndpoint(b, trace, clock=fake.clock, sleep=fake.sleep)
+        return a, b, shaped
+
+    def test_recv_held_for_modeled_transfer_time(self):
+        from repro.transport import wire
+
+        fake = _FakeTime()
+        trace = LinkTrace("t", ((0.0, 8.0),), base_latency_s=0.0)  # 1 MB/s
+        a, b, shaped = self._shaped_pair(trace, fake)
+        try:
+            payload = np.zeros(1_000_000, np.uint8)
+            nbytes = wire.encoded_nbytes(payload)
+            a.send(payload, payload.nbytes)
+            before = fake.now
+            out = shaped.recv()
+            assert out.tobytes() == payload.tobytes()
+            # 8 Mbps moves the measured wire bytes in nbytes*8/8e6 s.
+            assert fake.now - before == pytest.approx(nbytes * 8 / 8e6)
+        finally:
+            b.close(), a.close()
+
+    def test_irecv_not_ready_before_modeled_delivery(self):
+        fake = _FakeTime()
+        trace = LinkTrace("t", ((0.0, 8.0),), base_latency_s=0.0)
+        a, b, shaped = self._shaped_pair(trace, fake)
+        try:
+            req = shaped.irecv()
+            assert not req.test()              # nothing sent yet
+            payload = np.zeros(1_000_000, np.uint8)
+            a.send(payload, payload.nbytes)
+            assert not req.test()              # arrived, but link still "busy"
+            fake.now += 0.5                    # < ~1.0 s modeled transfer
+            assert not req.test()
+            fake.now += 0.6
+            assert req.test()
+            assert req.payload().tobytes() == payload.tobytes()
+        finally:
+            b.close(), a.close()
+
+    def test_sends_pass_through_unshaped(self):
+        fake = _FakeTime()
+        trace = LinkTrace("t", ((0.0, 1.0),), base_latency_s=0.0)  # slow link
+        a, b, shaped = self._shaped_pair(trace, fake)
+        try:
+            shaped.send(np.ones(4, np.float32), 16)  # shaped side sends freely
+            assert fake.sleeps == []
+            a.recv()
+        finally:
+            b.close(), a.close()
+
+    def test_requires_size_measuring_transport(self):
+        from repro.comm.mp import spawn_pipe_pair
+
+        a, b = spawn_pipe_pair()
+        trace = LinkTrace("t", ((0.0, 1.0),))
+        with pytest.raises(TypeError):
+            ShapedEndpoint(a, trace)
+        a.close(), b.close()

@@ -1,0 +1,231 @@
+"""Tests for the shared-memory ring transport.
+
+Ring mechanics (sequence handshake, wrap-around, fragmentation),
+endpoint semantics (blocking and non-blocking), the cross-process
+path, and the transport registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.server import ServerReply
+from repro.transport import registry
+from repro.transport.shm import ShmRing, ShmTransport, run_in_subprocess, spawn_shm_pair
+
+
+def _pair(**kw):
+    kw.setdefault("slots", 4)
+    kw.setdefault("slot_nbytes", 1 << 16)
+    kw.setdefault("timeout_s", 10.0)
+    return spawn_shm_pair(**kw)
+
+
+class TestRing:
+    def test_roundtrip_in_process(self):
+        a, b = _pair()
+        try:
+            arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+            a.send({"x": arr}, nbytes=arr.nbytes)
+            msg = b.recv()
+            assert msg["x"].tobytes() == arr.tobytes()
+        finally:
+            b.close(), a.close()
+
+    def test_wraparound_many_messages(self):
+        """Sequence counters stay correct far past one ring revolution."""
+        a, b = _pair()
+        try:
+            for i in range(37):  # 37 messages through 4 slots
+                payload = np.full((5,), i, dtype=np.int32)
+                a.send(payload, nbytes=payload.nbytes)
+                out = b.recv()
+                np.testing.assert_array_equal(out, payload)
+        finally:
+            b.close(), a.close()
+
+    def test_fragmented_message_reassembles(self):
+        a, b = _pair(slots=8, slot_nbytes=4096)
+        try:
+            frame = np.random.default_rng(0).random((3, 32, 48)).astype(np.float32)
+            label = np.random.default_rng(1).integers(0, 9, (32, 48))
+            a.send((frame, label), nbytes=frame.nbytes)  # ~25 KB over 4 KB slots
+            got_frame, got_label = b.recv()
+            assert got_frame.tobytes() == frame.tobytes()
+            assert got_label.tobytes() == label.tobytes()
+            assert b.last_recv_nbytes > frame.nbytes
+        finally:
+            b.close(), a.close()
+
+    def test_send_timeout_when_ring_full(self):
+        a, b = _pair(slots=2, slot_nbytes=4096, timeout_s=0.2)
+        try:
+            payload = np.zeros(64, np.uint8)
+            a.send(payload, 64)
+            a.send(payload, 64)
+            with pytest.raises(TimeoutError):
+                a.send(payload, 64)  # nobody drains: both slots taken
+        finally:
+            b.close(), a.close()
+
+    def test_recv_timeout_when_empty(self):
+        a, b = _pair(timeout_s=0.2)
+        try:
+            with pytest.raises(TimeoutError):
+                b.recv()
+        finally:
+            b.close(), a.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        a, b = _pair()
+        b.close()
+        b.close()
+        a.close()
+        a.close()
+
+    def test_attach_sees_owner_data(self):
+        ring = ShmRing(slots=2, slot_nbytes=4096)
+        try:
+            other = ShmRing.attach(ring.describe())
+            ring.send_message(np.arange(4, dtype=np.int64), timeout_s=1.0)
+            out, measured = other.recv_message(timeout_s=1.0)
+            np.testing.assert_array_equal(out, np.arange(4))
+            assert measured > 0
+            other.close()
+        finally:
+            ring.close()
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            ShmRing(slots=1)
+        with pytest.raises(ValueError):
+            ShmRing(slot_nbytes=8)
+
+
+class TestNonBlocking:
+    def test_isend_completes_immediately(self):
+        a, b = _pair()
+        try:
+            req = a.isend(np.zeros(3, np.float32), nbytes=12)
+            assert req.test()
+            np.testing.assert_array_equal(b.recv(), np.zeros(3))
+        finally:
+            b.close(), a.close()
+
+    def test_irecv_polls(self):
+        a, b = _pair()
+        try:
+            req = b.irecv()
+            assert not req.test()
+            payload = np.arange(6, dtype=np.float64)
+            a.send(payload, nbytes=payload.nbytes)
+            got = req.wait()
+            np.testing.assert_array_equal(got, payload)
+            assert req.payload() is got
+        finally:
+            b.close(), a.close()
+
+    def test_measured_sizes_match_wire(self):
+        from repro.transport import wire
+
+        a, b = _pair()
+        try:
+            msg = {"w": np.ones((4, 4), np.float32)}
+            a.send(msg, nbytes=64)
+            b.recv()
+            assert b.last_recv_nbytes == wire.encoded_nbytes(msg)
+        finally:
+            b.close(), a.close()
+
+
+def _echo_server(endpoint):
+    """Child process: echoes messages until the sentinel arrives."""
+    while True:
+        msg = endpoint.recv()
+        if msg is None:
+            break
+        endpoint.send(msg, 0)
+
+
+class TestSubprocess:
+    def test_echo_across_process_boundary(self):
+        endpoint, proc = run_in_subprocess(_echo_server, timeout_s=30.0)
+        try:
+            frame = np.random.default_rng(2).random((3, 48, 64)).astype(np.float32)
+            label = np.random.default_rng(3).integers(0, 9, (48, 64))
+            endpoint.send((frame, label), nbytes=frame.nbytes)
+            got_frame, got_label = endpoint.recv()
+            assert got_frame.tobytes() == frame.tobytes()
+            assert got_label.tobytes() == label.tobytes()
+            reply = ServerReply(
+                update={"w": frame}, metric=0.5, steps=2, initial_metric=0.25
+            )
+            endpoint.send(reply, nbytes=frame.nbytes)
+            echoed = endpoint.recv()
+            assert isinstance(echoed, ServerReply)
+            assert echoed.update["w"].tobytes() == frame.tobytes()
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=20)
+            endpoint.close()
+        assert proc.exitcode == 0
+
+    def test_streaming_through_tiny_ring(self):
+        """Cross-process, a message much larger than the whole ring
+        streams through slot by slot."""
+        endpoint, proc = run_in_subprocess(
+            _echo_server, slots=2, slot_nbytes=4096, timeout_s=30.0
+        )
+        try:
+            big = np.random.default_rng(4).random((64, 1024)).astype(np.float32)
+            endpoint.send(big, nbytes=big.nbytes)  # 256 KB through 8 KB of ring
+            out = endpoint.recv()
+            assert out.tobytes() == big.tobytes()
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=20)
+            endpoint.close()
+        assert proc.exitcode == 0
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registry.available_transports()
+        assert {"inproc", "pipe", "shm"} <= set(names)
+
+    def test_unknown_transport_lists_available(self):
+        with pytest.raises(KeyError, match="shm"):
+            registry.get_transport("rdma")
+
+    def test_inproc_cannot_spawn(self):
+        with pytest.raises(ValueError):
+            registry.spawn_server("inproc", lambda endpoint: None)
+
+    def test_make_pair_shm(self):
+        a, b = registry.make_pair("shm", slots=2, slot_nbytes=4096, timeout_s=5.0)
+        try:
+            a.send(np.ones(2, np.float32), 8)
+            np.testing.assert_array_equal(b.recv(), np.ones(2))
+        finally:
+            b.close(), a.close()
+
+    def test_make_pair_inproc_uses_sim_clock(self):
+        from repro.network.model import NetworkModel
+        from repro.runtime.clock import SimClock
+
+        clock = SimClock()
+        client, server = registry.make_pair(
+            "inproc", clock=clock, network=NetworkModel(bandwidth_mbps=80.0)
+        )
+        client.send("frame", nbytes=10_000_000)
+        assert server.recv() == "frame"
+        assert clock.now > 0  # delivery advanced the simulated clock
+
+    def test_custom_transport_registration(self):
+        definition = registry.TransportDef(
+            name="test-loop", description="test", make_pair=lambda **kw: (1, 2)
+        )
+        registry.register_transport(definition)
+        try:
+            assert registry.make_pair("test-loop") == (1, 2)
+        finally:
+            registry._REGISTRY.pop("test-loop")
