@@ -1,0 +1,46 @@
+"""Benchmark: multiplexed serving vs dedicated server processes.
+
+The ISSUE-4 acceptance floor: one :class:`~repro.serving.runtime.
+ServerRuntime` process serving N concurrent client processes must be
+>= 2x the throughput of the same N sessions each spawning a dedicated
+pipe server process, on the broadcast frame workload — with per-session
+``RunStats`` bit-identical across both paths.  Regenerate manually
+with::
+
+    PYTHONPATH=src python scripts/bench_perf.py --serve-many 4
+"""
+
+import pytest
+
+from repro.experiments.perf import (
+    append_record,
+    format_serve_many_record,
+    measure_serve_many_throughput,
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.mark.benchmark(group="perf_serve_many")
+def test_multiplexed_beats_dedicated_pipe_servers(results_sink):
+    # N = 6 rather than the recorded N = 4: the sharing advantage grows
+    # with N (every extra dedicated server re-trains work the runtime
+    # serves from cache), which buys headroom against wall-clock noise
+    # when this runs mid-suite from a heavyweight pytest process.
+    record = measure_serve_many_throughput(num_clients=6)
+    text = format_serve_many_record(record)
+    print(text)
+    results_sink(text)
+
+    # Correctness first: the speedup only counts if the multiplexed
+    # sessions are observably the same sessions.
+    assert record["bit_identical"]
+    assert record["multiplexed"]["server_processes"] == 1
+    # The acceptance floor (ISSUE 4): >= 2x over N dedicated pipe
+    # servers.  Measured ~2.5x at N=4 and ~2.8x at N=6 quiet on a
+    # single core (the win is cross-process shared distillation;
+    # multi-core boxes add client parallelism on top).
+    assert record["speedup"] >= 2.0
+    # Append only after the floor holds, so a failing run cannot
+    # pollute the committed perf trajectory.
+    append_record(record)

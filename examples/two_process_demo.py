@@ -1,25 +1,31 @@
 #!/usr/bin/env python3
-"""Live distributed demo: server and client in separate OS processes.
+"""Live distributed demo: one server process, N client processes.
 
 The evaluation harness uses a simulated clock for reproducible timing,
 but the protocol itself (Algorithms 3 and 4) is transport-agnostic.
-This demo runs the *real* thing: the server process owns the teacher
-and the student copy; the client process streams video frames, sends
-key frames over a real transport, receives partial weight updates, and
-applies them mid-stream — the same message flow the paper ran over
-OpenMPI.
+This demo runs the *real* thing in two shapes:
 
-``--transport`` selects the link from the transport registry:
-``pipe`` (pickled ``multiprocessing.Pipe``, the legacy baseline) or
-``shm`` (shared-memory slot ring speaking the pickle-free wire format —
-frames cross with a single copy into shared memory).
+* ``--transport pipe`` — the classic two-process deployment: a
+  dedicated server process speaks Algorithm 3 over a pickled
+  ``multiprocessing.Pipe`` while this process runs Algorithm 4's
+  asynchronous client loop (one update in flight, non-blocking test).
+* ``--transport shm|socket --clients N`` — the multiplexed deployment:
+  ONE server process (:class:`repro.serving.runtime.ServerRuntime`)
+  owns the teacher and every client's server-side student, polls all
+  N client connections in a single event loop, and shares bitwise-
+  identical distillation work across client *processes*.  Each client
+  process streams its own video category.
 
 Run::
 
-    python examples/two_process_demo.py [--frames N] [--transport shm]
+    python examples/two_process_demo.py --transport pipe
+    python examples/two_process_demo.py --transport shm --clients 4
+    python examples/two_process_demo.py --transport socket --clients 8
 """
 
 import argparse
+import itertools
+import time
 
 import numpy as np
 
@@ -30,28 +36,22 @@ from repro.striding.adaptive import AdaptiveStride
 from repro.transport.registry import spawn_server
 from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+_DISTILL = dict(max_updates=8, threshold=0.7, min_stride=4, max_stride=32)
+
 
 def server_process(endpoint) -> None:
-    """Algorithm 3 in a child process."""
-    config = DistillConfig(max_updates=8, threshold=0.7,
-                           min_stride=4, max_stride=32)
+    """Algorithm 3 in a dedicated child process (pipe path)."""
+    config = DistillConfig(**_DISTILL)
     server = Server(StudentNet(width=0.4, seed=0), OracleTeacher(), config)
     server.serve(endpoint)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--frames", type=int, default=120)
-    parser.add_argument("--transport", choices=("pipe", "shm"), default="pipe",
-                        help="which registered real transport carries the "
-                             "protocol (default: pipe)")
-    args = parser.parse_args()
-
-    config = DistillConfig(max_updates=8, threshold=0.7,
-                           min_stride=4, max_stride=32)
+def run_dedicated(args) -> None:
+    """The legacy 1-client deployment over a pickled pipe."""
+    config = DistillConfig(**_DISTILL)
     endpoint, proc = spawn_server(args.transport, server_process)
 
-    # Client side (Algorithm 4, blocking variant for clarity).
+    # Client side (Algorithm 4, asynchronous variant).
     student = StudentNet(width=0.4, seed=0)
     initial = endpoint.recv()
     student.load_state_dict(initial)
@@ -109,6 +109,74 @@ def main() -> None:
           f"({100 * n_key / args.frames:.1f}%) over {args.transport}")
     print(f"mean mIoU vs teacher: {100 * np.mean(mious):.1f}%")
     print(f"server process exited with code {proc.exitcode}")
+
+
+def run_multiplexed(args) -> None:
+    """The ISSUE-4 deployment: 1 server process, N client processes."""
+    from repro.runtime.session import SessionConfig
+    from repro.serving.runtime import (
+        SessionBlueprint,
+        run_client_processes,
+        start_server,
+    )
+
+    hw = (64, 96)
+    config = SessionConfig(distill=DistillConfig(**_DISTILL))
+    categories = list(itertools.islice(
+        itertools.cycle(sorted(CATEGORY_BY_KEY)), args.clients
+    ))
+
+    blueprints = [SessionBlueprint(config, hw) for _ in range(args.clients)]
+    start = time.perf_counter()
+    handle = start_server(
+        blueprints, transport=args.transport, n_clients=args.clients,
+        idle_timeout_s=300,
+    )
+    print(f"multiplexing server pid={handle.process.pid} over "
+          f"{args.transport}, serving {args.clients} client process(es)")
+    try:
+        jobs = [
+            (config, hw, category, args.frames, category)
+            for category in categories
+        ]
+        stats = run_client_processes(handle, jobs, timeout_s=600)
+    finally:
+        handle.close()
+    wall = time.perf_counter() - start
+
+    print("=" * 60)
+    for record in stats:
+        print(f"  {record.label:<16} {record.num_frames} frames, "
+              f"{record.num_key_frames:3d} key frames "
+              f"({100 * record.key_frame_ratio:4.1f}%), "
+              f"mean mIoU {100 * record.mean_miou:.1f}%")
+    total = sum(record.num_frames for record in stats)
+    print(f"1 server process served {total} frames across {args.clients} "
+          f"client processes in {wall:.2f}s wall "
+          f"({total / wall:.1f} frames/s aggregate)")
+    print(f"server process exited with code {handle.process.exitcode}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--transport", choices=("pipe", "shm", "socket"),
+                        default="pipe",
+                        help="pipe = dedicated server process (legacy); "
+                             "shm/socket = one multiplexed server process")
+    parser.add_argument("--clients", type=int, default=None, metavar="N",
+                        help="client processes served by ONE server process "
+                             "(shm/socket only; default 4)")
+    args = parser.parse_args()
+
+    if args.transport == "pipe":
+        if args.clients not in (None, 1):
+            parser.error("--clients needs a multiplexing transport "
+                         "(--transport shm or socket)")
+        run_dedicated(args)
+    else:
+        args.clients = args.clients or 4
+        run_multiplexed(args)
 
 
 if __name__ == "__main__":

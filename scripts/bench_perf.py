@@ -17,6 +17,12 @@ predicts + memoised distillation) against the same N sessions run
 sequentially, recording pooled frames/sec, the amortisation route
 counters, and the bit-identity check.
 
+``--serve-many N`` benchmarks the multiplexed ServerRuntime: one
+server process serving N concurrent client processes (over
+``--serve-transport``, shm by default) against the same N sessions
+each spawning a dedicated pipe server process, with per-session
+RunStats verified bit-identical across the two paths.
+
 Each invocation appends one schema-stamped record (``name``, ``pr``,
 ``git_rev``, timestamp), so the file accumulates the throughput
 trajectory across PRs; ``--migrate`` stamps the schema onto pre-schema
@@ -38,9 +44,11 @@ from repro.experiments.perf import (  # noqa: E402
     append_record,
     format_pool_record,
     format_record,
+    format_serve_many_record,
     format_transport_record,
     measure_engine_speedup,
     measure_pool_throughput,
+    measure_serve_many_throughput,
     measure_transport_throughput,
     migrate_records,
 )
@@ -60,6 +68,14 @@ def main() -> int:
                         help="benchmark shm vs pipe payload throughput "
                              "instead of the engine speedup "
                              "(also: scripts/bench_transport.py)")
+    parser.add_argument("--serve-many", type=int, default=None, metavar="N",
+                        help="benchmark 1 multiplexed server process vs N "
+                             "dedicated pipe server processes on the frame "
+                             "workload (N concurrent client processes)")
+    parser.add_argument("--serve-transport", default="shm",
+                        choices=("shm", "socket"),
+                        help="transport for the multiplexed side of "
+                             "--serve-many (default: shm)")
     parser.add_argument("--pr", default=None,
                         help="PR tag stamped on the record "
                              "(default: inferred from CHANGES.md)")
@@ -77,6 +93,17 @@ def main() -> int:
     if args.transport:
         record = measure_transport_throughput(pr=args.pr)
         summary = format_transport_record(record)
+    elif args.serve_many is not None:
+        record = measure_serve_many_throughput(
+            num_clients=args.serve_many,
+            num_frames=args.frames or 32,
+            width=args.width,
+            category=args.category,
+            pretrain_steps=args.pretrain_steps,
+            transport=args.serve_transport,
+            pr=args.pr,
+        )
+        summary = format_serve_many_record(record)
     elif args.pool is not None:
         record = measure_pool_throughput(
             num_sessions=args.pool,

@@ -12,3 +12,7 @@ python -m pytest -x -q "$@"
 # must match the in-process run bit for bit.  Hard timeout so a ring
 # handshake regression fails the gate instead of hanging it.
 timeout 300 python scripts/smoke_transport.py
+# Multi-client smoke: one multiplexed server process serving 4 client
+# processes (shm and socket) must match the in-process runs bit for
+# bit.  Hard timeout: a wedged event loop fails the gate, not hangs it.
+timeout 300 python scripts/smoke_serve_many.py

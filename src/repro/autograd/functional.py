@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.engine import tracer as _tracer
 
 
 def log_softmax(x: Tensor, axis: int = 1) -> Tensor:
@@ -31,8 +32,17 @@ def log_softmax(x: Tensor, axis: int = 1) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = 1) -> Tensor:
-    """Softmax along ``axis`` (via exp of log-softmax for stability)."""
-    return log_softmax(x, axis=axis).exp()
+    """Softmax along ``axis`` (via exp of log-softmax for stability).
+
+    Traced as a single ``softmax`` op (the log-softmax/exp composition
+    is its definition, not two compilable primitives), which the engine
+    lowers to :class:`~repro.engine.kernels.SoftmaxStep` — how compiled
+    ``soft_infer`` heads route through the engine bit-identically.
+    """
+    out = log_softmax(x, axis=axis).exp()
+    if _tracer._ACTIVE is not None:
+        _tracer._ACTIVE.record("softmax", (x,), out, axis=axis)
+    return out
 
 
 def cross_entropy(

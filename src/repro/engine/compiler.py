@@ -31,6 +31,7 @@ from repro.engine.kernels import (
     ConcatStep,
     ConvStep,
     ReluStep,
+    SoftmaxStep,
     UntraceableError,
     Upsample2xStep,
 )
@@ -152,6 +153,11 @@ def build_steps(
             step = AvgPool2dStep(
                 in_slots[0], len(shapes), shapes[in_slots[0]],
                 rec.meta.get("k", 2), training,
+            )
+        elif rec.kind == "softmax":
+            step = SoftmaxStep(
+                in_slots[0], len(shapes), shapes[in_slots[0]],
+                rec.meta.get("axis", 1), training,
             )
         else:
             raise UntraceableError(f"no kernel for traced op {rec.kind!r}")

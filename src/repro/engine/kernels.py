@@ -579,3 +579,44 @@ class Upsample2xStep:
         if gin is not None:
             gbufs[self.out_slot].reshape(self._grid).sum(axis=(3, 5), out=self._gsum)
             gin += self._gsum
+
+
+class SoftmaxStep:
+    """Channel softmax for compiled inference heads (``soft_infer``).
+
+    Mirrors :func:`repro.autograd.functional.softmax` — which is
+    ``exp(log_softmax(x))`` with the max-shift trick — operation for
+    operation, so compiled class probabilities are bit-identical to the
+    autograd path.  Inference-only: the distillation losses differentiate
+    through ``log_softmax`` on the autograd side, so a traced softmax in
+    a training graph falls back rather than risking a silent gradient
+    mismatch.
+    """
+
+    def __init__(self, in_slot, out_slot, in_shape, axis: int, training: bool) -> None:
+        if training:
+            raise UntraceableError("softmax compiles for inference plans only")
+        if axis != 1:
+            raise UntraceableError(
+                f"only channel softmax (axis=1) is compilable, got axis={axis}"
+            )
+        self.in_slot, self.out_slot = in_slot, out_slot
+        self.out_shape = tuple(in_shape)
+        self.out = np.empty(self.out_shape, np.float32)
+        self._shifted = np.empty(self.out_shape, np.float32)
+        self._exp = np.empty(self.out_shape, np.float32)
+
+    def forward(self, env) -> None:
+        x = env[self.in_slot]
+        np.subtract(x, x.max(axis=1, keepdims=True), out=self._shifted)
+        np.exp(self._shifted, out=self._exp)
+        denom = self._exp.sum(axis=1, keepdims=True)
+        np.log(denom, out=denom)
+        # log-softmax, then its exp — the autograd composition, not
+        # exp/denom, which differs in the last bits.
+        np.subtract(self._shifted, denom, out=self._shifted)
+        np.exp(self._shifted, out=self.out)
+        env[self.out_slot] = self.out
+
+    def backward(self, env, gbufs) -> None:  # pragma: no cover - unreachable
+        raise UntraceableError("softmax has no compiled backward")

@@ -463,6 +463,159 @@ def measure_transport_throughput(
     }
 
 
+def measure_serve_many_throughput(
+    num_clients: int = 4,
+    num_frames: int = 32,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 80,
+    transport: str = "shm",
+    frame_hw: Tuple[int, int] = _FRAME_HW,
+    pr: Optional[str] = None,
+) -> Dict:
+    """Benchmark multiplexed serving against dedicated server processes.
+
+    Multiplexed: ONE server process (:class:`~repro.serving.runtime.
+    ServerRuntime`) serves ``num_clients`` concurrent client processes
+    over ``transport`` — the ISSUE-4 deployment.  Baseline: the same
+    ``num_clients`` sessions served the PR-3 way, each spawning its own
+    dedicated pipe server process (per-session spawn, per-process
+    pre-training, pickled payloads).  Each session runs the real frame
+    workload: ``num_frames`` frames of one category stream with every
+    key frame crossing the transport as actual pixels.
+
+    The workload is the broadcast fan-out scenario the multiplexed
+    server exists to amortise — N viewers of one stream with a tight
+    key-frame cadence (min_stride 2, max_stride 4, the paper's
+    MAX_UPDATES = 8), so server-side distillation is the dominant cost
+    and the runtime's cross-process work sharing carries the speedup.
+    The dedicated baseline runs its N sessions back to back — exactly
+    how the PR-3 deployment serves N users from one operator process —
+    so on the single-core CI box the recorded speedup isolates the
+    sharing; on a multi-core box the concurrent client processes add
+    predict parallelism the sequential baseline does not get, and the
+    number stops being a pure sharing measurement.
+
+    Per-session ``RunStats`` are verified bit-identical between the two
+    paths (and hence to the in-process run); the recorded ``speedup``
+    is the acceptance number, floor-enforced at >= 2x by
+    ``benchmarks/test_perf_serve_many.py``.
+    """
+    from repro.serving.runtime import (
+        SessionBlueprint,
+        run_client_processes,
+        start_server,
+    )
+    from repro.video.dataset import CATEGORY_BY_KEY
+
+    if category not in CATEGORY_BY_KEY:
+        raise KeyError(f"unknown LVS category {category!r}")
+    config = SessionConfig(
+        distill=DistillConfig(
+            max_updates=8, threshold=0.999, min_stride=2, max_stride=4
+        ),
+        student_width=width,
+        pretrain_steps=pretrain_steps,
+    )
+    # Warm the parent-side pretrain cache (the servers pay their own).
+    pretrained_student(width, config.student_seed, pretrain_steps, frame_hw)
+
+    def run_dedicated() -> Tuple[float, list]:
+        import dataclasses as _dc
+
+        from repro.video.dataset import make_category_video
+
+        pipe_config = _dc.replace(config, transport="pipe")
+        start = time.perf_counter()
+        stats = []
+        for index in range(num_clients):
+            video = make_category_video(
+                CATEGORY_BY_KEY[category], height=frame_hw[0], width=frame_hw[1]
+            )
+            client = build_session(pipe_config, frame_hw)
+            try:
+                video.reset()
+                stats.append(client.run(video.frames(num_frames), label=f"d{index}"))
+            finally:
+                client.server.close()
+        return time.perf_counter() - start, stats
+
+    def run_multiplexed() -> Tuple[float, list]:
+        blueprints = [SessionBlueprint(config, frame_hw) for _ in range(num_clients)]
+        start = time.perf_counter()
+        handle = start_server(
+            blueprints, transport=transport, n_clients=num_clients,
+            idle_timeout_s=120.0,
+        )
+        try:
+            jobs = [
+                (config, frame_hw, category, num_frames, f"m{index}")
+                for index in range(num_clients)
+            ]
+            stats = run_client_processes(handle, jobs, timeout_s=600.0)
+        finally:
+            handle.close()
+        return time.perf_counter() - start, stats
+
+    dedicated_wall, dedicated_stats = run_dedicated()
+    mux_wall, mux_stats = run_multiplexed()
+
+    identical = all(
+        a.signature(include_label=False) == b.signature(include_label=False)
+        for a, b in zip(mux_stats, dedicated_stats)
+    )
+    total_frames = num_clients * num_frames
+    return {
+        **record_meta("serve-many", pr),
+        "kind": "serve_many",
+        "protocol": {
+            "scheme": "partial",
+            "category": category,
+            "num_clients": num_clients,
+            "num_frames": num_frames,
+            "student_width": width,
+            "frame_hw": list(frame_hw),
+            "pretrain_steps": pretrain_steps,
+            "transport": transport,
+        },
+        "dedicated_pipe": {
+            "wall_time_s": round(dedicated_wall, 3),
+            "frames_per_s": round(total_frames / dedicated_wall, 3),
+            "server_processes": num_clients,
+        },
+        "multiplexed": {
+            "wall_time_s": round(mux_wall, 3),
+            "frames_per_s": round(total_frames / mux_wall, 3),
+            "server_processes": 1,
+            "client_processes": num_clients,
+        },
+        "speedup": round(dedicated_wall / mux_wall, 3),
+        "bit_identical": identical,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def format_serve_many_record(record: Dict) -> str:
+    """One-paragraph human summary of a serve-many record."""
+    proto = record["protocol"]
+    dedicated, mux = record["dedicated_pipe"], record["multiplexed"]
+    return (
+        f"serve-many perf — {proto['num_clients']} client processes x "
+        f"{proto['num_frames']} frames ({proto['category']}, width "
+        f"{proto['student_width']}, {proto['transport']}):\n"
+        f"  dedicated pipe servers ({dedicated['server_processes']} procs): "
+        f"{dedicated['wall_time_s']:.2f}s ({dedicated['frames_per_s']:.1f} f/s)\n"
+        f"  multiplexed (1 server proc): {mux['wall_time_s']:.2f}s "
+        f"({mux['frames_per_s']:.1f} f/s) -> {record['speedup']:.2f}x\n"
+        f"  per-session stats bit-identical across paths: "
+        f"{record['bit_identical']}\n"
+    )
+
+
 def format_transport_record(record: Dict) -> str:
     """One-paragraph human summary of a transport record."""
     proto = record["protocol"]

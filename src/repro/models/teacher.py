@@ -147,14 +147,35 @@ class TeacherNet(Module):
         self.train(was_training)
         return logits.data.argmax(axis=1)[0]
 
-    def soft_infer(self, frame: np.ndarray) -> np.ndarray:
-        """Class-probability output for soft-target distillation (section 7)."""
+    def _engine_fns(self):
+        fns = super()._engine_fns()
+        fns["soft"] = self._soft_forward
+        return fns
+
+    def _soft_forward(self, x: Tensor) -> Tensor:
         from repro.autograd import functional as F
 
+        return F.softmax(self.forward(x), axis=1)
+
+    def soft_infer(self, frame: np.ndarray) -> np.ndarray:
+        """Class-probability output for soft-target distillation (section 7).
+
+        Like :meth:`infer`, routes through a compiled engine plan — the
+        forward chain plus the softmax head kernel — bit-identical to
+        the autograd path, which remains as the fallback.
+        """
+        from repro.autograd import functional as F
+
+        x = frame[None] if frame.ndim == 3 else frame
+        plan = self.engine_plan("soft", (tuple(x.shape),))
+        if plan is not None:
+            (probs,) = plan.run(x)
+            # Plan buffers are reused on the next run; hand back owned
+            # memory like the autograd path does.
+            return probs[0].copy()
         was_training = self.training
         self.eval()
         with no_grad():
-            logits = self.forward(Tensor(frame[None] if frame.ndim == 3 else frame))
-            probs = F.softmax(logits, axis=1)
+            probs = F.softmax(self.forward(Tensor(x)), axis=1)
         self.train(was_training)
         return probs.data[0]

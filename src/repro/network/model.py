@@ -37,6 +37,30 @@ class NetworkModel:
         return self.transfer_time(up_bytes) + self.transfer_time(down_bytes)
 
 
+def directed_transfer_time(
+    network, nbytes: int, start: float = 0.0, direction: str = "up"
+) -> float:
+    """Transfer duration on any link model, in one place.
+
+    Handles the three shapes a ``network`` can take: a static
+    :class:`NetworkModel` (no ``start`` argument), a time-varying
+    :class:`~repro.network.dynamic.DynamicNetworkModel`
+    (``transfer_time(nbytes, now)``), and a per-direction
+    :class:`~repro.transport.link.AsymmetricNetworkModel`
+    (``for_direction`` selects the side carrying this transfer).  The
+    client's uplink/downlink timing and the naive-offloading baseline
+    all dispatch through here, so a new link-model shape is taught to
+    the system exactly once.
+    """
+    pick = getattr(network, "for_direction", None)
+    if pick is not None:
+        network = pick(direction)
+    try:
+        return network.transfer_time(nbytes, start)  # type: ignore[call-arg]
+    except TypeError:
+        return network.transfer_time(nbytes)
+
+
 class TrafficAccountant:
     """Accumulates every transfer for post-run traffic statistics."""
 

@@ -29,7 +29,7 @@ from repro.distill.trainer import StudentTrainer, TrainResult
 from repro.models.student import StudentNet
 from repro.models.teacher import Teacher
 from repro.network.messages import MessageSizes
-from repro.nn.serialize import state_dict_diff, state_dict_bytes
+from repro.nn.serialize import state_dict_diff
 from repro.runtime.clock import LatencyModel
 
 
@@ -127,24 +127,15 @@ class Server:
 
     # ------------------------------------------------------------------
     def serve(self, endpoint: Endpoint, initial_send: bool = True) -> int:
-        """Blocking server loop over a real transport (Alg. 3 verbatim).
+        """Blocking single-endpoint server loop (delegates).
 
-        Sends the initial student weights, then loops on key frames
-        until a ``None`` sentinel arrives.  Returns the number of key
-        frames served.  Used with the multiprocessing transport; the
-        simulated runs drive :meth:`handle_key_frame` directly.
+        The loop itself lives in :func:`repro.serving.runtime.
+        serve_endpoint` — this class keeps only the pure per-key-frame
+        core of Algorithm 3, so the same ``Server`` drives simulated
+        runs, the dedicated-process path, and the multiplexing
+        :class:`~repro.serving.runtime.ServerRuntime` (which serves N
+        clients' worth of these protocols from one event loop).
         """
-        if initial_send:
-            endpoint.send(
-                dict(self.student.state_dict()), state_dict_bytes(self.student.state_dict())
-            )
-        served = 0
-        while True:
-            msg = endpoint.recv()
-            if msg is None:
-                break
-            frame, label = msg
-            reply, _ = self.handle_key_frame(frame, label)
-            endpoint.send(reply, self.reply_bytes())
-            served += 1
-        return served
+        from repro.serving.runtime import serve_endpoint
+
+        return serve_endpoint(self, endpoint, initial_send=initial_send)

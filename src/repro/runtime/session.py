@@ -44,11 +44,20 @@ class SessionConfig:
     teacher_boundary_noise: float = 0.0
     #: Which registered transport carries the client/server protocol:
     #: ``"inproc"`` (default) keeps the server in-process as before;
-    #: ``"pipe"`` / ``"shm"`` spawn a real server process and speak
-    #: Algorithm 3 over the selected link (see ``repro.transport``).
-    #: Simulated timing is identical either way — the transport moves
-    #: the actual payloads, the discrete-event clock models the link.
+    #: ``"pipe"`` / ``"shm"`` / ``"socket"`` spawn a *dedicated* server
+    #: process and speak Algorithm 3 over the selected link (see
+    #: ``repro.transport``).  Simulated timing is identical either way —
+    #: the transport moves the actual payloads, the discrete-event
+    #: clock models the link.
     transport: str = "inproc"
+    #: Attachment point on a running *multiplexed* server (one server
+    #: process, N clients — :mod:`repro.serving.runtime`): a
+    #: ``SessionTicket`` from :meth:`ServerHandle.ticket` (shares the
+    #: handle's connection — the pooled-client case) or a picklable
+    #: ``SessionAddress`` from :meth:`ServerHandle.address` (dials its
+    #: own connection — a standalone client process).  Takes precedence
+    #: over ``transport``, which describes spawning a dedicated server.
+    attach: Optional[object] = None
 
 
 #: Cache of pre-trained student checkpoints keyed by (width, seed, steps,
@@ -153,9 +162,22 @@ def build_session(
     the pooled path cannot drift from the single-session path.  With a
     real transport in ``config.transport``, the server half lives in a
     spawned process and the pair speaks the wire protocol instead of a
-    method call; callers must ``client.server.close()`` when done
+    method call; with ``config.attach`` set, the session joins a
+    running *multiplexed* server instead of spawning its own (one
+    server process, N clients — see :mod:`repro.serving.runtime`).
+    Either way callers must ``client.server.close()`` when done
     (:meth:`SessionPool.run` and :func:`run_shadowtutor` do).
     """
+    if config.attach is not None:
+        if teacher is not None:
+            raise ValueError(
+                "custom teacher objects cannot cross a process boundary; "
+                "the multiplexed server builds its own OracleTeacher "
+                "(use transport='inproc' for custom teachers)"
+            )
+        from repro.serving.runtime import attach_session
+
+        return attach_session(config, frame_hw, stride_policy)
     if config.transport != "inproc":
         if teacher is not None:
             raise ValueError(

@@ -29,18 +29,41 @@ the paper's tables depend on: a pooled run of N sessions produces
 bit-identical ``RunStats`` to N independent single-session runs.
 
 ``run_shadowtutor`` is the N = 1 case of this pool.
+
+:mod:`repro.serving.runtime` carries the pool's economics across
+process boundaries: an event-driven :class:`~repro.serving.runtime.
+ServerRuntime` multiplexes N client connections (shm rings or TCP
+sockets) through one server process — one teacher, per-client
+server-side students, shared distillation — with per-session
+``RunStats`` bit-identical to the in-process pool.
 """
 
 from repro.serving.batched import BatchedPredictor
 from repro.serving.pool import PoolResult, SessionPool, SessionSpec
+from repro.serving.runtime import (
+    ServerHandle,
+    ServerRuntime,
+    SessionAddress,
+    SessionBlueprint,
+    SessionTicket,
+    run_client_processes,
+    start_server,
+)
 from repro.serving.scheduler import TickScheduler
 from repro.serving.shared import SharedDistillation
 
 __all__ = [
     "BatchedPredictor",
     "PoolResult",
+    "ServerHandle",
+    "ServerRuntime",
+    "SessionAddress",
+    "SessionBlueprint",
     "SessionPool",
     "SessionSpec",
+    "SessionTicket",
     "SharedDistillation",
     "TickScheduler",
+    "run_client_processes",
+    "start_server",
 ]

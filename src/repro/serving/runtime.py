@@ -1,0 +1,726 @@
+"""Event-driven multiplexing server: one process, N client processes.
+
+PR 3 made the client/server split real, but each session still got a
+*dedicated* server process (``Server.serve`` blocking on one endpoint).
+ShadowTutor's economics come from the opposite shape: one GPU server
+amortizing teacher inference and distillation across many mobile
+clients.  This module is that shape:
+
+* :class:`ServerRuntime` — owns one teacher plus per-client server-side
+  students and polls every client connection in a single, non-threaded
+  event loop (in the spirit of event-driven real-time interpreters):
+  each sweep visits connections in a fixed order and serves at most one
+  message per connection, so scheduling is fair and deterministic.
+  Bitwise-identical key-frame work from different client *processes*
+  routes through one :class:`~repro.serving.shared.SharedDistillation`
+  cache, exactly as the in-process pool shares it between sessions.
+* the session protocol — HELLO/ACCEPT opens a session on a connection
+  (one link can carry many: a pooled client process runs all its
+  sessions over a single connection), BYE ends a session, the ``None``
+  sentinel closes a connection.  Session ids tag every wire frame
+  (:mod:`repro.transport.wire` version 2).
+* the client side — :class:`MuxConnection` demultiplexes tagged
+  replies into per-session queues; :class:`MuxRemoteServer` gives
+  :class:`~repro.runtime.client.Client` the same server surface
+  :class:`~repro.transport.remote.RemoteServer` does, so a session
+  served by the multiplexed runtime produces *identical* ``RunStats``
+  to the in-process run — the property the e2e tests and the tier-1
+  smoke script pin down.
+* :func:`start_server` / :class:`ServerHandle` — spawn the runtime over
+  any transport with the ``serve_many`` capability (``shm`` rings, TCP
+  ``socket``) and hand out attachment points: tickets for sessions in
+  this process (:meth:`ServerHandle.ticket`), picklable addresses for
+  standalone client processes (:meth:`ServerHandle.address`).
+
+``serve_endpoint`` is the old single-endpoint blocking loop, moved here
+from ``Server.serve`` so :class:`~repro.runtime.server.Server` keeps
+only the pure per-key-frame core (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.comm.interface import Endpoint
+from repro.transport import wire
+
+#: The event loop's idle behaviour mirrors the shm ring's: yield first
+#: (hand the core to a client that is about to produce work), then nap
+#: with exponential backoff — an idle server must not steal the core
+#: its clients are using to compute the next key frame.
+_YIELD_SWEEPS = 256
+_NAP_S = 50e-6
+_NAP_MAX_S = 1e-3
+
+
+# ----------------------------------------------------------------------
+# The old Algorithm-3 blocking loop (moved out of Server.serve)
+# ----------------------------------------------------------------------
+def serve_endpoint(server, endpoint: Endpoint, initial_send: bool = True) -> int:
+    """Blocking single-endpoint server loop (Algorithm 3 verbatim).
+
+    Sends the initial student weights, then loops on key frames until a
+    ``None`` sentinel arrives.  Returns the number of key frames
+    served.  This is the dedicated-server-per-session path; the
+    multiplexed :class:`ServerRuntime` below serves N of these
+    protocols from one process.
+    """
+    from repro.nn.serialize import state_dict_bytes
+
+    if initial_send:
+        state = dict(server.student.state_dict())
+        endpoint.send(state, state_dict_bytes(state))
+    served = 0
+    while True:
+        msg = endpoint.recv()
+        if msg is None:
+            break
+        frame, label = msg
+        reply, _ = server.handle_key_frame(frame, label)
+        endpoint.send(reply, server.reply_bytes())
+        served += 1
+    return served
+
+
+# ----------------------------------------------------------------------
+# Server side: the multiplexing runtime
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SessionBlueprint:
+    """Everything the server process needs to build one session's
+    server half: the session's configuration and frame geometry.
+
+    Blueprint index == session id: a client's HELLO names the blueprint
+    it wants served, so both sides agree on widths, seeds and
+    distillation settings without shipping configuration over the wire.
+    """
+
+    config: Any                       #: :class:`~repro.runtime.session.SessionConfig`
+    frame_hw: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        # The blueprint describes the *session*, not how to reach the
+        # server — strip attachment/transport fields so the server
+        # process cannot recursively try to attach anywhere.
+        if getattr(self.config, "attach", None) is not None:
+            self.config = dataclasses.replace(self.config, attach=None)
+
+
+class _LiveSession:
+    """One open session inside the runtime."""
+
+    def __init__(self, server, connection) -> None:
+        self.server = server
+        self.connection = connection
+        self.frames_served = 0
+
+
+class ServerRuntime:
+    """One teacher, per-client students, one event loop.
+
+    Parameters
+    ----------
+    blueprints:
+        Session blueprints, indexed by session id.
+    share_work:
+        Attach one :class:`~repro.serving.shared.SharedDistillation` to
+        every per-session server, so bitwise-identical key-frame work
+        submitted by different client processes trains once.  Replies
+        are provably identical either way, so this only changes cost.
+    idle_timeout_s:
+        Hard deadline on a completely idle loop (no accepts, no
+        messages): a lost client population raises ``TimeoutError``
+        instead of wedging the server process forever.
+    """
+
+    def __init__(
+        self,
+        blueprints: List[SessionBlueprint],
+        share_work: bool = True,
+        idle_timeout_s: float = 120.0,
+    ) -> None:
+        if not blueprints:
+            raise ValueError("ServerRuntime needs at least one SessionBlueprint")
+        if len(blueprints) > wire.MAX_SESSION:
+            raise ValueError("more sessions than the wire header can tag")
+        self.blueprints = list(blueprints)
+        self.idle_timeout_s = idle_timeout_s
+        from repro.serving.shared import SharedDistillation
+
+        self._work_cache = (
+            SharedDistillation() if (share_work and len(blueprints) > 1) else None
+        )
+        self._shared_teacher = None
+        self._sessions: Dict[int, _LiveSession] = {}
+        self._ended: set = set()
+        #: (served key frames per session id) — populated by :meth:`run`.
+        self.frames_served: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _teacher_for(self, config):
+        """One teacher for the whole runtime where that is provably
+        identical to per-session teachers (the zero-noise oracle is
+        stateless); noisy oracles hold RNG state and stay per-session,
+        matching the independent teachers of an in-process pool."""
+        from repro.models.teacher import OracleTeacher
+
+        if config.teacher_boundary_noise == 0.0:
+            if self._shared_teacher is None:
+                self._shared_teacher = OracleTeacher(0.0)
+            return self._shared_teacher
+        return OracleTeacher(config.teacher_boundary_noise)
+
+    def _open_session(self, session_id: int, connection) -> None:
+        from repro.runtime.server import Server
+        from repro.runtime.session import pretrained_student
+
+        if not 0 <= session_id < len(self.blueprints) or session_id in self._ended:
+            connection.send_tagged(session_id, wire.Bye(session_id))
+            return
+        if session_id in self._sessions:
+            connection.send_tagged(session_id, wire.Bye(session_id))
+            return
+        blueprint = self.blueprints[session_id]
+        config = blueprint.config
+        student = pretrained_student(
+            config.student_width, config.student_seed,
+            config.pretrain_steps, blueprint.frame_hw,
+        )
+        server = Server(
+            student, self._teacher_for(config), config.distill, config.sizes,
+            work_cache=self._work_cache,
+        )
+        self._sessions[session_id] = _LiveSession(server, connection)
+        connection.send_tagged(session_id, wire.Accept(session_id))
+        connection.send_tagged(session_id, dict(server.student.state_dict()))
+
+    def _end_session(self, session_id: int) -> None:
+        live = self._sessions.pop(session_id, None)
+        if live is not None:
+            self.frames_served[session_id] = live.frames_served
+            self._ended.add(session_id)
+
+    def _handle(self, connection, session_id: int, msg) -> None:
+        if isinstance(msg, wire.Hello):
+            self._open_session(session_id, connection)
+        elif isinstance(msg, wire.Bye):
+            self._end_session(session_id)
+        elif isinstance(msg, tuple):
+            live = self._sessions.get(session_id)
+            if live is None:
+                raise RuntimeError(
+                    f"key frame for session {session_id}, which is not open"
+                )
+            frame, label = msg
+            reply, _ = live.server.handle_key_frame(frame, label)
+            connection.send_tagged(session_id, reply)
+            live.frames_served += 1
+        else:
+            raise RuntimeError(
+                f"multiplexed server cannot handle {type(msg).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, listener) -> Dict[int, int]:
+        """Serve until every blueprinted session has ended.
+
+        ``listener`` yields client connections (``poll_accept``); each
+        sweep of the loop first admits any pending connection, then
+        visits every open connection in arrival order and serves at
+        most one message from each — fair, deterministic, no threads.
+        Returns key frames served per session id.
+        """
+        connections: List[Any] = []
+        closed: set = set()
+        idle_deadline = time.monotonic() + self.idle_timeout_s
+        sweeps = 0
+        nap = _NAP_S
+        while len(self._ended) < len(self.blueprints):
+            progressed = False
+            accepted = listener.poll_accept()
+            if accepted is not None:
+                connections.append(accepted)
+                progressed = True
+            for index, connection in enumerate(connections):
+                if index in closed or not connection.poll():
+                    continue
+                try:
+                    session_id, msg = connection.recv_tagged()
+                except (ConnectionError, EOFError):
+                    # A vanished peer closes its connection; corrupt
+                    # frames (WireError) propagate instead — the server
+                    # must die loudly on corruption, not report the
+                    # link's sessions as cleanly completed.
+                    msg = None
+                    session_id = 0
+                if msg is None:
+                    # Connection sentinel: every session still open on
+                    # this link ends with it.
+                    for sid, live in list(self._sessions.items()):
+                        if live.connection is connection:
+                            self._end_session(sid)
+                    closed.add(index)
+                    progressed = True
+                    continue
+                self._handle(connection, session_id, msg)
+                progressed = True
+            if progressed:
+                idle_deadline = time.monotonic() + self.idle_timeout_s
+                sweeps = 0
+                nap = _NAP_S
+                continue
+            sweeps += 1
+            if sweeps < _YIELD_SWEEPS:
+                time.sleep(0)
+                continue
+            if time.monotonic() > idle_deadline:
+                raise TimeoutError(
+                    f"server runtime idle for {self.idle_timeout_s}s with "
+                    f"{len(self.blueprints) - len(self._ended)} session(s) pending"
+                )
+            time.sleep(nap)
+            nap = min(2 * nap, _NAP_MAX_S)
+        return dict(self.frames_served)
+
+
+def _runtime_entry(listener, blueprints, share_work, idle_timeout_s) -> None:
+    """Server-process entry point for :func:`start_server`."""
+    ServerRuntime(
+        blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s
+    ).run(listener)
+
+
+# ----------------------------------------------------------------------
+# Client side: demultiplexing connection + per-session server proxy
+# ----------------------------------------------------------------------
+class MuxConnection:
+    """Client side of one multiplexed link (possibly many sessions).
+
+    Wraps a transport endpoint with the tagged surface (``send_tagged``
+    / ``recv_tagged`` / ``poll``) and sorts incoming messages into
+    per-session queues, so interleaved replies for different sessions
+    on one connection each reach their own :class:`MuxRemoteServer`.
+    """
+
+    def __init__(self, endpoint) -> None:
+        for required in ("send_tagged", "recv_tagged"):
+            if not hasattr(endpoint, required):
+                raise TypeError(
+                    f"{type(endpoint).__name__} cannot multiplex sessions "
+                    "(needs the tagged wire surface, e.g. shm or socket)"
+                )
+        self.endpoint = endpoint
+        self._queues: Dict[int, Deque[Any]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def send_tagged(self, session: int, obj: Any) -> None:
+        self.endpoint.send_tagged(session, obj)
+
+    def recv_for(self, session: int) -> Any:
+        """Next message for ``session`` (queues others as they arrive)."""
+        queue = self._queues.setdefault(session, deque())
+        while not queue:
+            tag, msg = self.endpoint.recv_tagged()
+            self._queues.setdefault(tag, deque()).append(msg)
+        return queue.popleft()
+
+    # ------------------------------------------------------------------
+    def open_session(self, session: int) -> Dict[str, Any]:
+        """HELLO → ACCEPT → initial state; returns the state dict."""
+        self.send_tagged(session, wire.Hello(session))
+        msg = self.recv_for(session)
+        if isinstance(msg, wire.Bye):
+            raise RuntimeError(
+                f"server refused session {session} (unknown, duplicate, or "
+                "already ended)"
+            )
+        if not isinstance(msg, wire.Accept):
+            raise RuntimeError(
+                f"handshake for session {session} got {type(msg).__name__}, "
+                "expected Accept"
+            )
+        state = self.recv_for(session)
+        if not isinstance(state, dict):
+            raise RuntimeError(
+                f"session {session} initial state was {type(state).__name__}"
+            )
+        return state
+
+    def close_session(self, session: int) -> None:
+        try:
+            self.send_tagged(session, wire.Bye(session))
+        except Exception:
+            pass  # server already gone; nothing to unwind
+
+    def close(self) -> None:
+        """Send the connection sentinel and release the endpoint."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.endpoint.send(None, 1)
+        except Exception:
+            pass
+        close = getattr(self.endpoint, "close", None)
+        if close is not None:
+            close()
+
+
+class _SessionChannel(Endpoint):
+    """A session-scoped endpoint view over a :class:`MuxConnection` —
+    what lets :class:`~repro.transport.remote.RemoteServer` speak the
+    multiplexed protocol unchanged."""
+
+    def __init__(self, connection: MuxConnection, session: int) -> None:
+        self._connection = connection
+        self.session = session
+
+    def send(self, obj: Any, nbytes: int) -> None:
+        del nbytes
+        self._connection.send_tagged(self.session, obj)
+
+    def recv(self) -> Any:
+        return self._connection.recv_for(self.session)
+
+    def isend(self, obj: Any, nbytes: int):
+        raise NotImplementedError("mux sessions use the blocking protocol")
+
+    def irecv(self):
+        raise NotImplementedError("mux sessions use the blocking protocol")
+
+
+class MuxRemoteServer:
+    """Per-session server proxy on a multiplexed connection.
+
+    Same surface as :class:`~repro.transport.remote.RemoteServer` (the
+    client only calls ``handle_key_frame`` / ``service_time`` /
+    ``reply_bytes``), but ``close`` ends *this session* (BYE) rather
+    than the server process — N sessions share one server.  A proxy
+    that owns its connection (a standalone client process) also closes
+    the connection on the way out.
+    """
+
+    def __init__(
+        self,
+        connection: MuxConnection,
+        session: int,
+        config,
+        sizes=None,
+        owns_connection: bool = False,
+    ) -> None:
+        from repro.transport.remote import RemoteServer
+
+        self._proxy = RemoteServer(
+            _SessionChannel(connection, session), config, sizes
+        )
+        self.connection = connection
+        self.session = session
+        self.owns_connection = owns_connection
+        #: Pool compatibility: memoised distillation lives server-side.
+        self.work_cache = None
+        #: Pool compatibility: no dedicated process to reap per session.
+        self.process = None
+        self._closed = False
+
+    @property
+    def config(self):
+        return self._proxy.config
+
+    @property
+    def sizes(self):
+        return self._proxy.sizes
+
+    @property
+    def is_partial(self) -> bool:
+        return self._proxy.is_partial
+
+    def recv_initial_state(self):
+        raise RuntimeError(
+            "the initial state arrives during MuxConnection.open_session"
+        )
+
+    def handle_key_frame(self, frame, label=None):
+        return self._proxy.handle_key_frame(frame, label)
+
+    def service_time(self, result, latency) -> float:
+        return self._proxy.service_time(result, latency)
+
+    def reply_bytes(self) -> int:
+        return self._proxy.reply_bytes()
+
+    def close(self, join_timeout_s: float = 30.0) -> None:
+        """End the session; close the connection too if we own it."""
+        del join_timeout_s  # the server process outlives its sessions
+        if self._closed:
+            return
+        self._closed = True
+        self.connection.close_session(self.session)
+        if self.owns_connection:
+            self.connection.close()
+
+
+# ----------------------------------------------------------------------
+# Deployment: spawn the runtime, hand out attachment points
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SessionAddress:
+    """Picklable attachment point for one session on a running server.
+
+    Put it in :attr:`~repro.runtime.session.SessionConfig.attach` in
+    any process: ``build_session`` dials the transport, opens the
+    session, and returns a normal :class:`~repro.runtime.client.Client`
+    whose connection it owns.
+    """
+
+    transport: str
+    info: Any
+    session: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionTicket:
+    """In-process attachment point: sessions with tickets from one
+    handle share that handle's single parent-side connection — how a
+    :class:`~repro.serving.pool.SessionPool` runs all its sessions over
+    one link to one server process."""
+
+    handle: "ServerHandle"
+    session: int
+
+
+class ServerHandle:
+    """Owner's view of a spawned :class:`ServerRuntime` process."""
+
+    def __init__(self, transport: str, link, process, n_sessions: int) -> None:
+        self.transport = transport
+        self.link = link
+        self.process = process
+        self.n_sessions = n_sessions
+        self._parent_connection: Optional[MuxConnection] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def ticket(self, session: int) -> SessionTicket:
+        """Attachment point for a session run in *this* process."""
+        self._check_session(session)
+        return SessionTicket(self, session)
+
+    def address(self, session: int, slot: Optional[int] = None) -> SessionAddress:
+        """Picklable attachment point for a standalone client process.
+
+        ``slot`` selects the per-client connection (defaults to the
+        session id — the 1:1 layout of the N-process deployment).
+        """
+        self._check_session(session)
+        info = self.link.address(session if slot is None else slot)
+        return SessionAddress(self.transport, info, session)
+
+    def parent_connection(self) -> MuxConnection:
+        """The single in-process connection every ticket shares (claims
+        client slot 0 on first use)."""
+        if self._parent_connection is None:
+            self._parent_connection = MuxConnection(self.link.connect(0))
+        return self._parent_connection
+
+    def _check_session(self, session: int) -> None:
+        if not 0 <= session < self.n_sessions:
+            raise IndexError(
+                f"no session {session}: the server was started with "
+                f"{self.n_sessions} blueprint(s)"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self, join_timeout_s: float = 30.0) -> None:
+        """Close the parent connection, join the server, release the
+        transport.  Idempotent.
+
+        A server whose sessions never all ended (a client process
+        crashed before its BYE) will not exit on its own until its
+        idle timeout; rather than block this caller and then unlink
+        shared segments under a still-running process, the join is
+        bounded and a straggler is terminated before the transport is
+        released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._parent_connection is not None:
+            self._parent_connection.close()
+        if self.process is not None:
+            self.process.join(timeout=join_timeout_s)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=5.0)
+        self.link.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_server(
+    blueprints: List[SessionBlueprint],
+    transport: str = "shm",
+    n_clients: int = 1,
+    share_work: bool = True,
+    idle_timeout_s: float = 120.0,
+    **options,
+) -> ServerHandle:
+    """Spawn one multiplexing server process for ``blueprints``.
+
+    ``n_clients`` is the number of *connections* (client processes, or
+    1 for a pool running every session over the parent's connection);
+    sessions are a separate dimension — any connection can HELLO any
+    blueprinted session.  ``options`` pass through to the transport's
+    ``serve_many`` (ring geometry, timeouts).
+    """
+    import functools
+
+    from repro.transport import registry
+
+    target = functools.partial(
+        _runtime_entry,
+        blueprints=list(blueprints),
+        share_work=share_work,
+        idle_timeout_s=idle_timeout_s,
+    )
+    link, process = registry.serve_many(transport, target, n_clients, **options)
+    return ServerHandle(transport, link, process, len(blueprints))
+
+
+# ----------------------------------------------------------------------
+# build_session attachment (called from repro.runtime.session)
+# ----------------------------------------------------------------------
+def attach_session(config, frame_hw, stride_policy):
+    """Build a :class:`~repro.runtime.client.Client` attached to a
+    running multiplexed server (the ``config.attach`` path of
+    :func:`~repro.runtime.session.build_session`).
+
+    A :class:`SessionTicket` shares its handle's parent connection; a
+    :class:`SessionAddress` dials its own connection and owns it.
+    """
+    from repro.models.student import StudentNet
+    from repro.runtime.client import Client
+    from repro.transport import registry
+
+    attach = config.attach
+    if isinstance(attach, SessionTicket):
+        connection = attach.handle.parent_connection()
+        session = attach.session
+        owns = False
+    elif isinstance(attach, SessionAddress):
+        connection = MuxConnection(registry.connect(attach.transport, attach.info))
+        session = attach.session
+        owns = True
+    else:
+        raise TypeError(
+            f"config.attach must be a SessionTicket or SessionAddress, "
+            f"got {type(attach).__name__}"
+        )
+    try:
+        initial_state = connection.open_session(session)
+        remote = MuxRemoteServer(
+            connection, session, config.distill, config.sizes,
+            owns_connection=owns,
+        )
+        student = StudentNet(width=config.student_width, seed=config.student_seed)
+        student.load_state_dict(initial_state)
+        return Client(
+            student,
+            remote,
+            config.distill,
+            latency=config.latency,
+            network=config.network,
+            sizes=config.sizes,
+            stride_policy=stride_policy,
+            forced_delay_frames=config.forced_delay_frames,
+        )
+    except BaseException:
+        # A failed handshake must not leak a privately-dialled
+        # connection (shared parent connections stay up for their
+        # handle's other sessions).
+        if owns:
+            connection.close()
+        raise
+
+
+# ----------------------------------------------------------------------
+# Standalone client processes (the N-process deployment)
+# ----------------------------------------------------------------------
+def _client_process_main(address, config, frame_hw, video_key, num_frames,
+                         label, result_conn) -> None:
+    import dataclasses as _dc
+
+    from repro.runtime.session import build_session
+    from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+    try:
+        config = _dc.replace(config, attach=address)
+        client = build_session(config, frame_hw)
+        try:
+            video = make_category_video(
+                CATEGORY_BY_KEY[video_key], height=frame_hw[0], width=frame_hw[1]
+            )
+            video.reset()
+            stats = client.run(video.frames(num_frames), label=label)
+        finally:
+            client.server.close()
+        result_conn.send(("ok", stats))
+    except BaseException as exc:  # surfaced in the parent, not swallowed
+        try:
+            result_conn.send(("error", repr(exc)))
+        finally:
+            raise
+    finally:
+        result_conn.close()
+
+
+def run_client_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
+    """Run one standalone client *process* per job against ``handle``.
+
+    ``jobs`` is a list of ``(config, frame_hw, video_key, num_frames,
+    label)`` tuples, one per session id in order.  Returns the
+    per-session ``RunStats`` list.  This is the deployment the ISSUE's
+    acceptance names: one server process, N client processes.
+    """
+    import multiprocessing as mp
+
+    workers = []
+    for session, (config, frame_hw, video_key, num_frames, label) in enumerate(jobs):
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        address = handle.address(session)
+        proc = mp.Process(
+            target=_client_process_main,
+            args=(address, config, frame_hw, video_key, num_frames,
+                  label, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        workers.append((proc, parent_conn))
+
+    results = []
+    deadline = time.monotonic() + timeout_s
+    try:
+        for session, (proc, conn) in enumerate(workers):
+            budget = max(0.0, deadline - time.monotonic())
+            if not conn.poll(budget):
+                raise TimeoutError(f"client process {session} produced no result")
+            status, payload = conn.recv()
+            if status != "ok":
+                raise RuntimeError(f"client process {session} failed: {payload}")
+            results.append(payload)
+    finally:
+        for proc, conn in workers:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            conn.close()
+    return results

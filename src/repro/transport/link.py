@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.comm.interface import Endpoint, Request
 from repro.network.dynamic import DynamicNetworkModel
+from repro.network.model import directed_transfer_time
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,6 +156,96 @@ def bundled_trace(name: str) -> LinkTrace:
         ) from None
 
 
+# ----------------------------------------------------------------------
+# Per-direction asymmetric links
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class AsymmetricNetworkModel:
+    """Direction-aware link: distinct up/down bandwidth models.
+
+    Wraps two ``transfer_time``-capable models (static
+    :class:`~repro.network.model.NetworkModel` or time-varying
+    :class:`~repro.network.dynamic.DynamicNetworkModel`).  Consumers
+    that know their direction (the client's key-frame uplink vs its
+    update downlink) select a side through :meth:`for_direction`;
+    direction-oblivious consumers get the uplink, the conservative
+    choice on cellular links (key frames are the big payload and the
+    slow direction).
+    """
+
+    up: object
+    down: object
+
+    def for_direction(self, direction: str):
+        """The model carrying transfers in ``direction`` (up/down)."""
+        if direction == "up":
+            return self.up
+        if direction == "down":
+            return self.down
+        raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+
+    def transfer_time(self, nbytes: int, now: float = 0.0) -> float:
+        return directed_transfer_time(self.up, nbytes, now)
+
+    def round_trip_time(self, up_bytes: int, down_bytes: int, now: float = 0.0) -> float:
+        up = directed_transfer_time(self.up, up_bytes, now)
+        return up + directed_transfer_time(self.down, down_bytes, now + up)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkTracePair:
+    """Asymmetric scenario: separate uplink and downlink traces.
+
+    Mobile links are asymmetric — LTE uplink (where the key frames go)
+    runs far below the downlink carrying the small weight updates.  The
+    pair compiles into an :class:`AsymmetricNetworkModel` for simulated
+    runs and shapes both endpoints of a real transport via
+    :func:`shape_endpoint_pair`, so the same recorded asymmetry drives
+    both worlds — exactly like the symmetric :class:`LinkTrace`.
+    """
+
+    name: str
+    up: LinkTrace
+    down: LinkTrace
+
+    def to_network_model(self) -> AsymmetricNetworkModel:
+        """Compile both directions into one direction-aware model."""
+        return AsymmetricNetworkModel(
+            up=self.up.to_network_model(), down=self.down.to_network_model()
+        )
+
+    def swapped(self) -> "LinkTracePair":
+        """The mirror scenario (diagnostics: which direction binds?)."""
+        return LinkTracePair(f"{self.name}-swapped", up=self.down, down=self.up)
+
+
+def lte_updown_pair(seed: int = 7, duration_s: float = 120.0) -> LinkTracePair:
+    """LTE-style asymmetric pair: ~12 Mbps volatile uplink (key frames)
+    against the ~40 Mbps downlink (weight updates)."""
+    up = generate_trace(
+        "lte-drive-up", duration_s=duration_s, step_s=2.0,
+        mean_mbps=12.0, sigma=0.35, floor_mbps=1.5, ceil_mbps=40.0,
+        dip_probability=0.08, dip_mbps=2.0, seed=seed + 1,
+    )
+    return LinkTracePair("lte-updown", up=up, down=lte_trace(seed, duration_s))
+
+
+#: Bundled asymmetric scenarios, by name like ``BUNDLED_TRACES``.
+BUNDLED_TRACE_PAIRS: Dict[str, "LinkTracePair"] = {
+    "lte-updown": lte_updown_pair(),
+}
+
+
+def bundled_trace_pair(name: str) -> "LinkTracePair":
+    """Fetch a bundled asymmetric pair by name (helpful error on typo)."""
+    try:
+        return BUNDLED_TRACE_PAIRS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace pair {name!r}; bundled: {sorted(BUNDLED_TRACE_PAIRS)}"
+        ) from None
+
+
 class _ShapedRecvRequest(Request):
     """Inner receive plus the modeled transfer-time hold."""
 
@@ -252,3 +343,23 @@ class ShapedEndpoint(Endpoint):
         close = getattr(self.inner, "close", None)
         if close is not None:
             close()
+
+
+def shape_endpoint_pair(
+    client_endpoint: Endpoint,
+    server_endpoint: Endpoint,
+    pair: LinkTracePair,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Tuple[ShapedEndpoint, ShapedEndpoint]:
+    """Replay an asymmetric scenario over a real transport pair.
+
+    Shaping is receive-side, so each endpoint gets the trace of the
+    direction it *receives*: the client's receives are the downlink
+    (weight updates), the server's receives are the uplink (key
+    frames).  Returns ``(shaped_client, shaped_server)``.
+    """
+    return (
+        ShapedEndpoint(client_endpoint, pair.down, clock=clock, sleep=sleep),
+        ShapedEndpoint(server_endpoint, pair.up, clock=clock, sleep=sleep),
+    )

@@ -12,20 +12,47 @@ name       what
            ``multiprocessing.Pipe`` (the legacy baseline)
 ``shm``    shared-memory slot ring with the pickle-free wire format
            (:mod:`repro.transport.shm`) — frames cross zero-copy
+``socket`` length-prefixed wire frames over TCP
+           (:mod:`repro.transport.socket`) — cross-host serving
 =========  ==========================================================
 
 Each entry provides ``make_pair()`` (a connected endpoint pair in this
 process) and, for the real transports, ``spawn(target)`` (start
 ``target(endpoint)`` in a child process and return the parent-side
-endpoint plus the process handle).  ``register_transport`` is public:
-a deployment can plug in sockets or RDMA without touching the runtime,
-which only ever sees :class:`~repro.comm.interface.Endpoint`.
+endpoint plus the process handle).  Multiplexing-capable transports
+additionally provide ``serve_many(target, n_clients)`` — one server
+process, N client connections — and ``connect(info)``, which turns a
+picklable per-client address into a live endpoint in any process (how
+standalone client processes reach a multiplexed server).
+``register_transport`` is public: a deployment can plug in RDMA or a
+message bus without touching the runtime, which only ever sees
+:class:`~repro.comm.interface.Endpoint`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Callable, Dict, List, Optional, Tuple
+
+
+class StaticListener:
+    """Listener over pre-created connections (shm rings, pipes).
+
+    The server runtime polls ``poll_accept`` exactly like a socket
+    listener; here every connection already exists, so each call hands
+    out the next one until the set is exhausted.
+    """
+
+    def __init__(self, endpoints) -> None:
+        self._pending = list(endpoints)
+        self.expected = len(self._pending)
+
+    def poll_accept(self):
+        """Next pre-created connection, or None once all are handed out."""
+        return self._pending.pop(0) if self._pending else None
+
+    def close(self) -> None:
+        self._pending = []
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,6 +66,16 @@ class TransportDef:
     #: ``spawn(target, **options) -> (parent_endpoint, process)`` or
     #: None when the transport cannot cross a process boundary.
     spawn: Optional[Callable[..., Tuple]] = None
+    #: ``serve_many(target, n_clients, **options) -> (link, process)``:
+    #: start ``target(listener)`` in one server process multiplexing
+    #: ``n_clients`` connections.  The link exposes ``connect(slot)``
+    #: (a client endpoint in this process) and ``address(slot)`` (a
+    #: picklable token for a client process).  None when the transport
+    #: cannot multiplex.
+    serve_many: Optional[Callable[..., Tuple]] = None
+    #: ``connect(info) -> endpoint``: dial the picklable address a
+    #: ``serve_many`` link's ``address()`` produced.
+    connect: Optional[Callable] = None
 
 
 _REGISTRY: Dict[str, TransportDef] = {}
@@ -81,6 +118,29 @@ def spawn_server(name: str, target: Callable, **options):
     return definition.spawn(target, **options)
 
 
+def serve_many(name: str, target: Callable, n_clients: int, **options):
+    """Start ``target(listener)`` in one server process multiplexing
+    ``n_clients`` connections over transport ``name``.
+
+    Returns ``(link, process)``; raises for transports without the
+    multiplexing capability (``inproc``, ``pipe``).
+    """
+    definition = get_transport(name)
+    if definition.serve_many is None:
+        raise ValueError(
+            f"transport {name!r} cannot serve many clients from one process"
+        )
+    return definition.serve_many(target, n_clients, **options)
+
+
+def connect(name: str, info):
+    """Dial a per-client address produced by a ``serve_many`` link."""
+    definition = get_transport(name)
+    if definition.connect is None:
+        raise ValueError(f"transport {name!r} has no connectable addresses")
+    return definition.connect(info)
+
+
 # ----------------------------------------------------------------------
 # Built-in transports
 # ----------------------------------------------------------------------
@@ -98,6 +158,7 @@ def _inproc_pair(clock=None, network=None, accountant=None):
 def _register_builtins() -> None:
     from repro.comm import mp as comm_mp
     from repro.transport import shm
+    from repro.transport import socket as socket_transport
 
     register_transport(TransportDef(
         name="inproc",
@@ -115,6 +176,16 @@ def _register_builtins() -> None:
         description="shared-memory slot ring, pickle-free wire format",
         make_pair=shm.spawn_shm_pair,
         spawn=shm.run_in_subprocess,
+        serve_many=shm.serve_many,
+        connect=shm.connect_address,
+    ))
+    register_transport(TransportDef(
+        name="socket",
+        description="length-prefixed wire frames over TCP (cross-host)",
+        make_pair=socket_transport.make_pair,
+        spawn=socket_transport.run_in_subprocess,
+        serve_many=socket_transport.serve_many,
+        connect=socket_transport.connect_address,
     ))
 
 

@@ -58,10 +58,15 @@ DEFAULT_SLOT_NBYTES = 1 << 20
 #: single-core) box the yield hands the CPU straight to the peer that
 #: is producing our data — a pure hot spin would steal the very core
 #: the peer needs and add a scheduler quantum of latency per message.
-#: A peer off training for seconds costs us only 50 µs reaction
-#: latency once the wait escalates to naps.
+#: Naps back off exponentially from 50 µs to 1 ms: a short wait (the
+#: peer is mid-copy) still reacts in tens of microseconds, while a
+#: client blocked behind a 100 ms training call stops burning the very
+#: core the trainer needs — on a single-core box with N waiting
+#: clients, fixed-rate napping measurably slows the multiplexed server
+#: everyone is waiting for.
 _YIELD_SPINS = 512
 _NAP_S = 50e-6
+_NAP_MAX_S = 1e-3
 
 
 class ShmRing:
@@ -129,6 +134,7 @@ class ShmRing:
         seq = self._seq
         slot = index % self.slots
         spins = 0
+        nap = _NAP_S
         while seq[slot] != want:
             spins += 1
             if spins < _YIELD_SPINS:
@@ -139,18 +145,23 @@ class ShmRing:
                     f"shm ring handshake timed out waiting for slot {slot} "
                     f"(seq {int(seq[slot])}, want {want})"
                 )
-            time.sleep(_NAP_S)
+            time.sleep(nap)
+            nap = min(2 * nap, _NAP_MAX_S)
 
     # -- producer side -------------------------------------------------
-    def send_message(self, obj: wire.Message, timeout_s: float) -> int:
-        """Encode and publish one message; returns its wire size."""
+    def send_message(self, obj: wire.Message, timeout_s: float, session: int = 0) -> int:
+        """Encode and publish one message; returns its wire size.
+
+        ``session`` lands in the wire header, so one ring can carry
+        interleaved frames of many sessions (the multiplexed server).
+        """
         deadline = time.monotonic() + timeout_s
         total = wire.encoded_nbytes(obj)
         if total <= self.slot_nbytes:
             # Fast path: encode straight into the shared slot.
             self._await_seq(self._head, self._head, deadline)
             slot = self._head % self.slots
-            wire.encode_into(obj, self._payloads[slot])
+            wire.encode_into(obj, self._payloads[slot], session=session)
             self._lens[slot][...] = total
             self._seq[slot] = self._head + 1
             self._head += 1
@@ -160,7 +171,7 @@ class ShmRing:
         if len(self._scratch) < total:
             self._scratch = bytearray(total)
         view = memoryview(self._scratch)
-        wire.encode_into(obj, view)
+        wire.encode_into(obj, view, session=session)
         offset = 0
         while offset < total:
             self._await_seq(self._head, self._head, deadline)
@@ -185,6 +196,11 @@ class ShmRing:
 
     def recv_message(self, timeout_s: float) -> Tuple[wire.Message, int]:
         """Consume one message; returns ``(payload, wire nbytes)``."""
+        _, obj, total = self.recv_message_tagged(timeout_s)
+        return obj, total
+
+    def recv_message_tagged(self, timeout_s: float) -> Tuple[int, wire.Message, int]:
+        """Consume one message; returns ``(session, payload, wire nbytes)``."""
         deadline = time.monotonic() + timeout_s
         self._await_seq(self._tail, self._tail + 1, deadline)
         slot = self._tail % self.slots
@@ -192,9 +208,9 @@ class ShmRing:
         first = self._payloads[slot][:n]
         total = wire.peek_total(first)
         if total <= n:
-            obj = wire.decode(first)
+            session, obj = wire.decode_tagged(first)
             self._release()
-            return obj, total
+            return session, obj, total
         # Reassemble a fragmented message.
         if len(self._scratch) < total:
             self._scratch = bytearray(total)
@@ -209,7 +225,8 @@ class ShmRing:
             view[offset : offset + n] = self._payloads[slot][:n]
             self._release()
             offset += n
-        return wire.decode(view[:total]), total
+        session, obj = wire.decode_tagged(view[:total])
+        return session, obj, total
 
     # ------------------------------------------------------------------
     def close(self, unlink: Optional[bool] = None) -> None:
@@ -304,6 +321,21 @@ class ShmTransport(Endpoint):
         self.last_recv_nbytes = measured
         return obj
 
+    # -- multiplexing surface (one link, many sessions) ----------------
+    def poll(self) -> bool:
+        """True when a receive would not block."""
+        return self._rx.poll()
+
+    def send_tagged(self, session: int, obj: Any) -> None:
+        """Send ``obj`` tagged with a session id (wire header field)."""
+        self._tx.send_message(obj, self.timeout_s, session=session)
+
+    def recv_tagged(self) -> Tuple[int, Any]:
+        """Receive the next message as ``(session, payload)``."""
+        session, obj, measured = self._rx.recv_message_tagged(self.timeout_s)
+        self.last_recv_nbytes = measured
+        return session, obj
+
     def isend(self, obj: Any, nbytes: int) -> Request:
         self.send(obj, nbytes)
         return _CompletedSend(obj)
@@ -376,3 +408,107 @@ def run_in_subprocess(
     )
     proc.start()
     return ShmTransport(tx=up, rx=down, timeout_s=timeout_s), proc
+
+
+# ----------------------------------------------------------------------
+# Multi-client serving: per-client rings, one server-side multiplexer
+# ----------------------------------------------------------------------
+class ShmManyLink:
+    """Parent-side handle of a 1-server / N-client shm deployment.
+
+    One (up, down) ring pair per client slot, all owned by the parent
+    (creator) so their segments outlive any individual client process
+    and are unlinked exactly once, at :meth:`close`.  A slot is used by
+    exactly one client: either the parent itself (:meth:`connect`) or a
+    child process that re-maps it from :meth:`address`.
+    """
+
+    def __init__(self, pairs, timeout_s: float) -> None:
+        self._pairs = pairs  # [(up_ring, down_ring)] per client slot
+        self._timeout_s = timeout_s
+        self._claimed = [False] * len(pairs)
+
+    @property
+    def n_clients(self) -> int:
+        return len(self._pairs)
+
+    def _claim(self, slot: int) -> None:
+        if not 0 <= slot < len(self._pairs):
+            raise IndexError(f"no client slot {slot} (have {len(self._pairs)})")
+        if self._claimed[slot]:
+            raise ValueError(f"client slot {slot} is already claimed")
+        self._claimed[slot] = True
+
+    def connect(self, slot: int) -> ShmTransport:
+        """Client endpoint for ``slot``, used from the parent process."""
+        self._claim(slot)
+        up, down = self._pairs[slot]
+        return ShmTransport(tx=up, rx=down, timeout_s=self._timeout_s)
+
+    def address(self, slot: int):
+        """Picklable connect info for ``slot`` (hand to a child process)."""
+        self._claim(slot)
+        up, down = self._pairs[slot]
+        return (up.describe(), down.describe(), self._timeout_s)
+
+    def close(self) -> None:
+        """Unlink every ring segment (parent owns them).  Idempotent."""
+        for up, down in self._pairs:
+            up.close()
+            down.close()
+        self._pairs = []
+
+
+def connect_address(info) -> ShmTransport:
+    """Attach a client endpoint from :meth:`ShmManyLink.address` info."""
+    up_desc, down_desc, timeout_s = info
+    return ShmTransport(
+        tx=ShmRing.attach(up_desc), rx=ShmRing.attach(down_desc),
+        timeout_s=timeout_s,
+    )
+
+
+def _serve_many_entry(target, pair_descs, timeout_s: float) -> None:
+    from repro.transport.registry import StaticListener
+
+    endpoints = [
+        ShmTransport(
+            tx=ShmRing.attach(down_desc), rx=ShmRing.attach(up_desc),
+            timeout_s=timeout_s,
+        )
+        for up_desc, down_desc in pair_descs
+    ]
+    try:
+        target(StaticListener(endpoints))
+    finally:
+        for endpoint in endpoints:
+            endpoint.close()
+
+
+def serve_many(
+    target: Callable,
+    n_clients: int,
+    slots: int = DEFAULT_SLOTS,
+    slot_nbytes: int = DEFAULT_SLOT_NBYTES,
+    timeout_s: float = 120.0,
+) -> Tuple[ShmManyLink, mp.Process]:
+    """Start ``target(listener)`` in a server process multiplexing
+    ``n_clients`` ring pairs.
+
+    The listener yields one server-side endpoint per client slot (a
+    :class:`~repro.transport.registry.StaticListener` — all rings are
+    pre-created, so "accepting" is instant and deterministic).  Returns
+    the parent-side :class:`ShmManyLink` and the process handle.
+    """
+    if n_clients < 1:
+        raise ValueError("serve_many needs at least one client slot")
+    pairs = [
+        (ShmRing(slots, slot_nbytes), ShmRing(slots, slot_nbytes))
+        for _ in range(n_clients)
+    ]
+    descs = [(up.describe(), down.describe()) for up, down in pairs]
+    proc = mp.Process(
+        target=_serve_many_entry, args=(target, descs, timeout_s), daemon=True
+    )
+    proc.start()
+    return ShmManyLink(pairs, timeout_s), proc

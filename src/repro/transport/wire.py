@@ -7,21 +7,33 @@ binary frame here:
 =============  ====================================================
 kind           payload
 =============  ====================================================
-``SHUTDOWN``   none (the ``None`` sentinel that ends Algorithm 3)
+``SHUTDOWN``   none (the ``None`` sentinel that closes a connection)
 ``STATE``      a state dict — initial weights or a full student
 ``FRAME``      a key frame plus its optional renderer label
 ``REPLY``      :class:`~repro.runtime.server.ServerReply` (metric,
                steps, initial metric, update diff)
 ``PRED``       a teacher prediction (the naive-offloading downlink)
+``HELLO``      connection handshake: a client asks the multiplexing
+               server to start session ``header.session``
+``ACCEPT``     the server's answer to ``HELLO``
+``BYE``        ends one session without closing the connection
 =============  ====================================================
 
-Every message is ``MAGIC | version | kind | u64 total_len | body``;
-arrays are framed by :func:`repro.nn.serialize.write_array` — a typed
-header plus the raw C-order bytes, so a decode is bit-identical to the
-encode for every dtype, shape and byte order.  ``total_len`` makes the
-stream self-delimiting: the shared-memory ring fragments large messages
+Every message is ``MAGIC | version | kind | u16 session | u64
+total_len | body``; arrays are framed by
+:func:`repro.nn.serialize.write_array` — a typed header plus the raw
+C-order bytes, so a decode is bit-identical to the encode for every
+dtype, shape and byte order.  ``total_len`` makes the stream
+self-delimiting: the shared-memory ring fragments large messages
 across slots and reassembles them by reading the first fragment's
 header.
+
+The ``session`` field (version 2) lets *one* link carry many
+interleaved sessions: the multiplexing :class:`~repro.serving.runtime.
+ServerRuntime` serves N clients from one process, and a pooled client
+process runs N sessions over one connection.  Point-to-point callers
+leave it at 0; the HELLO/ACCEPT/BYE handshake opens and closes
+individual sessions while SHUTDOWN still closes the whole connection.
 
 Encoding is allocation-disciplined: :func:`encode_into` writes straight
 into a caller-provided buffer (the shm transport hands it a slot of the
@@ -33,6 +45,7 @@ also what reconciles wire sizes against the paper-scale accounting of
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple, Union
@@ -43,23 +56,59 @@ from repro.nn.serialize import array_wire_nbytes, read_array, write_array
 from repro.runtime.server import ServerReply
 
 MAGIC = b"ST"
-VERSION = 1
+VERSION = 2
 
 KIND_SHUTDOWN = 0
 KIND_STATE = 1
 KIND_FRAME = 2
 KIND_REPLY = 3
 KIND_PRED = 4
+KIND_HELLO = 5
+KIND_ACCEPT = 6
+KIND_BYE = 7
 
-_HEADER = struct.Struct("<2sBBQ")  # magic, version, kind, total_len
+_KINDS = frozenset(range(8))
+_CONTROL_KINDS = frozenset((KIND_HELLO, KIND_ACCEPT, KIND_BYE))
+
+# magic, version, kind, session, total_len
+_HEADER = struct.Struct("<2sBBHQ")
 HEADER_NBYTES = _HEADER.size
+
+#: Largest session id a header can carry (u16).
+MAX_SESSION = 0xFFFF
 
 _REPLY_HEAD = struct.Struct("<ddI")  # metric, initial_metric, steps
 _COUNT = struct.Struct("<I")
 _NAME_LEN = struct.Struct("<H")
 
+
+@dataclasses.dataclass(frozen=True)
+class Hello:
+    """Client → server: open session ``session`` on this connection."""
+
+    session: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Accept:
+    """Server → client: session ``session`` is open; its initial
+    state-dict follows as the next tagged STATE message."""
+
+    session: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Bye:
+    """Either side: session ``session`` is over (connection stays up)."""
+
+    session: int
+
+
 #: Messages the format understands (see module docstring).
-Message = Union[None, Dict[str, np.ndarray], Tuple, ServerReply, np.ndarray]
+Message = Union[
+    None, Dict[str, np.ndarray], Tuple, ServerReply, np.ndarray,
+    Hello, Accept, Bye,
+]
 
 
 class WireError(ValueError):
@@ -71,6 +120,12 @@ def _kind_of(obj: Message) -> int:
         return KIND_SHUTDOWN
     if isinstance(obj, ServerReply):
         return KIND_REPLY
+    if isinstance(obj, Hello):
+        return KIND_HELLO
+    if isinstance(obj, Accept):
+        return KIND_ACCEPT
+    if isinstance(obj, Bye):
+        return KIND_BYE
     if isinstance(obj, dict):
         return KIND_STATE
     if isinstance(obj, tuple):
@@ -100,7 +155,7 @@ def payload_nbytes(obj: Message) -> int:
     of a percent on every real payload.
     """
     kind = _kind_of(obj)
-    if kind == KIND_SHUTDOWN:
+    if kind == KIND_SHUTDOWN or kind in _CONTROL_KINDS:
         return 0
     if kind == KIND_PRED:
         return obj.nbytes
@@ -155,18 +210,23 @@ def _read_state(buf: memoryview, offset: int) -> Tuple["OrderedDict[str, np.ndar
     return state, offset
 
 
-def encode_into(obj: Message, buf: memoryview) -> int:
+def encode_into(obj: Message, buf: memoryview, session: int = 0) -> int:
     """Encode ``obj`` into ``buf``; returns the bytes written.
 
     ``buf`` must hold at least :func:`encoded_nbytes` bytes — the shm
     ring passes a slot view so the payload lands directly in shared
-    memory.
+    memory.  ``session`` tags the frame for multiplexed links; the
+    handshake messages carry their own session id and ignore it.
     """
     kind = _kind_of(obj)
+    if kind in _CONTROL_KINDS:
+        session = obj.session
+    if not 0 <= session <= MAX_SESSION:
+        raise WireError(f"session id {session} does not fit the u16 header field")
     total = encoded_nbytes(obj)
     if len(buf) < total:
         raise WireError(f"buffer of {len(buf)} bytes cannot hold {total}")
-    _HEADER.pack_into(buf, 0, MAGIC, VERSION, kind, total)
+    _HEADER.pack_into(buf, 0, MAGIC, VERSION, kind, session, total)
     offset = HEADER_NBYTES
     if kind == KIND_STATE:
         offset = _write_state(buf, offset, obj)
@@ -187,46 +247,61 @@ def encode_into(obj: Message, buf: memoryview) -> int:
     return total
 
 
-def encode(obj: Message) -> bytes:
-    """Encode ``obj`` into a fresh bytes object (tests, pipes)."""
+def encode(obj: Message, session: int = 0) -> bytes:
+    """Encode ``obj`` into a fresh bytes object (tests, sockets, pipes)."""
     buf = bytearray(encoded_nbytes(obj))
-    encode_into(obj, memoryview(buf))
+    encode_into(obj, memoryview(buf), session=session)
     return bytes(buf)
 
 
-def peek_total(buf: memoryview) -> int:
-    """Validate the header at ``buf[0:]`` and return the message's
-    total length — what the ring reads off a first fragment to know how
-    many slots the message spans."""
+def peek_header(buf: memoryview) -> Tuple[int, int, int]:
+    """Validate the header at ``buf[0:]``; returns ``(kind, session,
+    total_len)`` — what a multiplexer needs to route a frame and what
+    the ring reads off a first fragment to know how many slots the
+    message spans."""
     if len(buf) < HEADER_NBYTES:
         raise WireError("buffer shorter than a wire header")
-    magic, version, kind, total = _HEADER.unpack_from(buf, 0)
+    magic, version, kind, session, total = _HEADER.unpack_from(buf, 0)
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
     if version != VERSION:
         raise WireError(f"unsupported wire version {version}")
-    if kind not in (KIND_SHUTDOWN, KIND_STATE, KIND_FRAME, KIND_REPLY, KIND_PRED):
+    if kind not in _KINDS:
         raise WireError(f"unknown message kind {kind}")
-    return total
+    if total < HEADER_NBYTES:
+        raise WireError(f"declared total length {total} is smaller than a header")
+    return kind, session, total
 
 
-def decode(buf: Union[bytes, bytearray, memoryview]) -> Message:
-    """Decode one message; inverse of :func:`encode` / :func:`encode_into`.
+def peek_total(buf: memoryview) -> int:
+    """Validate the header at ``buf[0:]`` and return the message's
+    total length."""
+    return peek_header(buf)[2]
 
-    Decoded arrays own their memory (copied out of ``buf``), so ring
-    slots can be released immediately after decoding.
+
+def decode_tagged(buf: Union[bytes, bytearray, memoryview]) -> Tuple[int, Message]:
+    """Decode one message as ``(session, payload)``.
+
+    Inverse of :func:`encode_into` with its ``session`` tag; decoded
+    arrays own their memory (copied out of ``buf``), so ring slots can
+    be released immediately after decoding.
     """
     buf = memoryview(buf)
-    total = peek_total(buf)
+    kind, session, total = peek_header(buf)
     if len(buf) < total:
         raise WireError(f"truncated message: have {len(buf)} of {total} bytes")
-    kind = buf[3]
     offset = HEADER_NBYTES
     if kind == KIND_SHUTDOWN:
-        return None
+        return session, None
+    if kind == KIND_HELLO:
+        return session, Hello(session)
+    if kind == KIND_ACCEPT:
+        return session, Accept(session)
+    if kind == KIND_BYE:
+        return session, Bye(session)
     if kind == KIND_STATE:
         state, _ = _read_state(buf, offset)
-        return state
+        return session, state
     if kind == KIND_FRAME:
         has_label = buf[offset]
         offset += 1
@@ -234,14 +309,19 @@ def decode(buf: Union[bytes, bytearray, memoryview]) -> Message:
         label: Optional[np.ndarray] = None
         if has_label:
             label, offset = read_array(buf, offset)
-        return frame, label
+        return session, (frame, label)
     if kind == KIND_REPLY:
         metric, initial_metric, steps = _REPLY_HEAD.unpack_from(buf, offset)
         offset += _REPLY_HEAD.size
         update, _ = _read_state(buf, offset)
-        return ServerReply(
+        return session, ServerReply(
             update=update, metric=metric, steps=int(steps),
             initial_metric=initial_metric,
         )
     pred, _ = read_array(buf, offset)
-    return pred
+    return session, pred
+
+
+def decode(buf: Union[bytes, bytearray, memoryview]) -> Message:
+    """Decode one message; inverse of :func:`encode` / :func:`encode_into`."""
+    return decode_tagged(buf)[1]

@@ -4,7 +4,9 @@
 kernel added, every op the teacher family uses lowers to engine
 kernels.  These tests pin bit-identity of compiled teacher inference
 against the autograd path, and the avg-pool kernel's forward/backward
-against its autograd twin.
+against its autograd twin.  The softmax-head kernel closes the last
+gap: compiled ``soft_infer`` (class probabilities for soft-target
+distillation) is bit-identical too.
 """
 
 import numpy as np
@@ -13,7 +15,7 @@ import pytest
 from repro import engine
 from repro.autograd.tensor import Tensor, no_grad
 from repro.engine.compiler import compile_plan
-from repro.engine.kernels import AvgPool2dStep, UntraceableError
+from repro.engine.kernels import AvgPool2dStep, SoftmaxStep, UntraceableError
 from repro.models.teacher import TeacherNet
 from repro.nn.layers import AvgPool2d, BatchNorm2d, Conv2d, ReLU, Sequential
 from repro.nn.module import Module
@@ -130,3 +132,63 @@ class TestAvgPoolKernel:
     def test_indivisible_geometry_raises(self):
         with pytest.raises(UntraceableError):
             AvgPool2dStep(0, 1, (1, 3, 7, 8), 2, training=False)
+
+
+class TestSoftmaxHead:
+    """Compiled ``soft_infer``: the softmax-head kernel (ISSUE 4)."""
+
+    def test_soft_plan_compiles(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        plan = teacher.engine_plan("soft", ((1, 3, 32, 48),))
+        assert plan is not None, "soft_infer no longer compiles"
+        assert plan.num_kernels > 0
+
+    def test_soft_infer_bitwise_identical_to_autograd(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        got = teacher.soft_infer(frame)
+        with engine.disabled():
+            ref = teacher.soft_infer(frame)
+        assert got.shape == ref.shape
+        assert got.tobytes() == ref.tobytes()
+
+    def test_soft_infer_is_a_distribution(self, frame):
+        teacher = TeacherNet(width=8, seed=1)
+        probs = teacher.soft_infer(frame)
+        assert probs.shape == (teacher.num_classes, 32, 48)
+        np.testing.assert_allclose(probs.sum(axis=0), 1.0, rtol=1e-5)
+
+    def test_soft_infer_uses_compiled_plan(self, frame):
+        teacher = TeacherNet(width=8, seed=0)
+        teacher.soft_infer(frame)
+        assert teacher._engine_plans.get(("soft", ((1, 3, 32, 48),))) is not None
+
+    def test_soft_infer_result_owns_memory(self, frame):
+        """Plan output buffers are reused; soft_infer must hand back a
+        copy that survives the next run."""
+        teacher = TeacherNet(width=8, seed=0)
+        first = teacher.soft_infer(frame)
+        snapshot = first.copy()
+        teacher.soft_infer(frame * 0.5 + 0.1)
+        assert first.tobytes() == snapshot.tobytes()
+
+    def test_step_forward_matches_functional_softmax(self):
+        from repro.autograd import functional as F
+
+        logits = np.random.default_rng(7).normal(
+            size=(2, 9, 8, 12)
+        ).astype(np.float32) * 10
+        step = SoftmaxStep(0, 1, logits.shape, axis=1, training=False)
+        env = [logits, None]
+        step.forward(env)
+        ref = F.softmax(Tensor(logits), axis=1).data
+        assert env[1].tobytes() == ref.tobytes()
+
+    def test_non_channel_axis_raises(self):
+        with pytest.raises(UntraceableError):
+            SoftmaxStep(0, 1, (1, 9, 8, 8), axis=2, training=False)
+
+    def test_training_plan_raises(self):
+        """Training graphs fall back: the losses differentiate through
+        log_softmax on the autograd side."""
+        with pytest.raises(UntraceableError):
+            SoftmaxStep(0, 1, (1, 9, 8, 8), axis=1, training=True)

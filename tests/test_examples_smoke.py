@@ -44,6 +44,13 @@ class TestExamples:
         assert "received initial student" in out
         assert "exited with code 0" in out
 
+    def test_two_process_demo_multiplexed(self):
+        out = run_example("two_process_demo.py", "--frames", "16",
+                          "--transport", "shm", "--clients", "2")
+        assert "multiplexing server" in out
+        assert "2 client processes" in out
+        assert "exited with code 0" in out
+
     def test_sequence_extension(self):
         out = run_example("sequence_extension.py", "--windows", "200")
         assert "tutored accuracy" in out

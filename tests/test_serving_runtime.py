@@ -1,0 +1,246 @@
+"""End-to-end tests for the multiplexing ServerRuntime (ISSUE 4).
+
+The acceptance property: one server process serves N concurrent client
+*processes* — over shm rings and over TCP sockets — with per-session
+``RunStats`` bit-identical to the equivalent in-process ``SessionPool``
+run.  Also covers the pooled-attachment path (N sessions over one
+connection), the HELLO/ACCEPT/BYE handshake's error branches, and the
+moved single-endpoint serve loop.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.distill.config import DistillConfig, DistillMode
+from repro.runtime.session import SessionConfig, build_session, run_shadowtutor
+from repro.serving.pool import SessionPool, SessionSpec
+from repro.serving.runtime import (
+    ServerRuntime,
+    SessionBlueprint,
+    run_client_processes,
+    start_server,
+)
+from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+_HW = (32, 48)
+
+
+def _config(mode=DistillMode.PARTIAL, **kw):
+    return SessionConfig(
+        distill=DistillConfig(max_updates=4, threshold=0.7,
+                              min_stride=4, max_stride=16, mode=mode),
+        student_width=0.25,
+        pretrain_steps=10,
+        **kw,
+    )
+
+
+def _video(key="fixed-people"):
+    return make_category_video(CATEGORY_BY_KEY[key], height=_HW[0], width=_HW[1])
+
+
+class TestNClientProcesses:
+    """The acceptance bar: 1 server process x N>=4 client processes."""
+
+    N = 4
+    FRAMES = 10
+
+    def _reference_stats(self):
+        specs = [
+            SessionSpec(video=_video(), num_frames=self.FRAMES, config=_config())
+            for _ in range(self.N)
+        ]
+        return SessionPool(specs).run().stats
+
+    @pytest.mark.parametrize("transport", ["shm", "socket"])
+    def test_multiplexed_processes_bit_identical_to_pool(self, transport):
+        blueprints = [SessionBlueprint(_config(), _HW) for _ in range(self.N)]
+        handle = start_server(
+            blueprints, transport=transport, n_clients=self.N, idle_timeout_s=60
+        )
+        try:
+            jobs = [
+                (_config(), _HW, "fixed-people", self.FRAMES, f"s{i}")
+                for i in range(self.N)
+            ]
+            stats = run_client_processes(handle, jobs, timeout_s=180)
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        reference = self._reference_stats()
+        assert len(stats) == self.N
+        for got, ref in zip(stats, reference):
+            assert got.signature(include_label=False) == ref.signature(
+                include_label=False
+            )
+
+
+class TestPooledAttachment:
+    """N sessions of one SessionPool over ONE connection to one server."""
+
+    def test_pool_over_one_shm_connection_identical_to_inproc_pool(self):
+        def specs(attach_of=None):
+            built = []
+            for index, (key, width) in enumerate(
+                [("fixed-people", 0.25), ("moving-animals", 0.3)]
+            ):
+                config = dataclasses.replace(_config(), student_width=width)
+                if attach_of is not None:
+                    config = dataclasses.replace(config, attach=attach_of(index))
+                built.append(
+                    SessionSpec(video=_video(key), num_frames=10, config=config)
+                )
+            return built
+
+        local = SessionPool(specs()).run()
+
+        blueprints = [
+            SessionBlueprint(dataclasses.replace(_config(), student_width=w), _HW)
+            for w in (0.25, 0.3)
+        ]
+        handle = start_server(blueprints, transport="shm", n_clients=1,
+                              idle_timeout_s=60)
+        try:
+            remote = SessionPool(specs(attach_of=handle.ticket)).run()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        for a, b in zip(local.stats, remote.stats):
+            assert a.signature(include_label=False) == b.signature(
+                include_label=False
+            )
+
+    def test_single_attached_session_full_mode(self):
+        """Full distillation (whole-student replies) over the mux too."""
+        inproc = run_shadowtutor(
+            _video(), 8, _config(mode=DistillMode.FULL), label="t"
+        )
+        handle = start_server(
+            [SessionBlueprint(_config(mode=DistillMode.FULL), _HW)],
+            transport="shm", n_clients=1, idle_timeout_s=60,
+        )
+        try:
+            config = dataclasses.replace(
+                _config(mode=DistillMode.FULL), attach=handle.ticket(0)
+            )
+            mux = run_shadowtutor(_video(), 8, config, label="t")
+        finally:
+            handle.close()
+        assert mux.signature() == inproc.signature()
+        assert mux.key_frames[0].down_bytes == inproc.key_frames[0].down_bytes
+
+
+class TestHandshakeAndErrors:
+    def test_unknown_session_is_refused(self):
+        handle = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, idle_timeout_s=60,
+        )
+        try:
+            with pytest.raises(IndexError, match="session"):
+                handle.ticket(5)
+            connection = handle.parent_connection()
+            with pytest.raises(RuntimeError, match="refused"):
+                connection.open_session(3)
+            # The valid session still works after the refusal.
+            state = connection.open_session(0)
+            assert isinstance(state, dict) and state
+            connection.close_session(0)
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+    def test_duplicate_hello_is_refused(self):
+        handle = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, idle_timeout_s=60,
+        )
+        try:
+            connection = handle.parent_connection()
+            connection.open_session(0)
+            with pytest.raises(RuntimeError, match="refused"):
+                connection.open_session(0)
+            connection.close_session(0)
+        finally:
+            handle.close()
+
+    def test_attach_rejects_custom_teacher(self):
+        from repro.models.teacher import OracleTeacher
+
+        handle = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, idle_timeout_s=60,
+        )
+        try:
+            config = dataclasses.replace(_config(), attach=handle.ticket(0))
+            with pytest.raises(ValueError, match="teacher"):
+                build_session(config, _HW, teacher=OracleTeacher())
+            # Unblock shutdown: the refused build never opened session 0.
+            connection = handle.parent_connection()
+            connection.open_session(0)
+            connection.close_session(0)
+        finally:
+            handle.close()
+
+    def test_attach_of_wrong_type_raises(self):
+        config = dataclasses.replace(_config(), attach="not-an-address")
+        with pytest.raises(TypeError, match="attach"):
+            build_session(config, _HW)
+
+    def test_runtime_validates_blueprints(self):
+        with pytest.raises(ValueError, match="Blueprint"):
+            ServerRuntime([])
+
+    def test_blueprint_strips_attach(self):
+        """A blueprint made from an attached config must not make the
+        server process recursively attach anywhere."""
+        config = dataclasses.replace(_config(), attach="anything")
+        blueprint = SessionBlueprint(config, _HW)
+        assert blueprint.config.attach is None
+
+
+class TestMovedServeLoop:
+    def test_serve_endpoint_is_the_serve_implementation(self):
+        """Server.serve delegates to the moved loop — same protocol,
+        same counts (the dedicated-process e2e tests cover the rest)."""
+        from repro.models.student import StudentNet
+        from repro.models.teacher import OracleTeacher
+        from repro.runtime.server import Server
+        from repro.serving.runtime import serve_endpoint
+        from repro.transport.shm import spawn_shm_pair
+
+        video = _video()
+        video.reset()
+        frames = list(video.frames(2))
+
+        def run_one(use_method):
+            a, b = spawn_shm_pair(slots=8, slot_nbytes=1 << 20, timeout_s=10.0)
+            server = Server(
+                StudentNet(width=0.25, seed=3), OracleTeacher(),
+                DistillConfig(max_updates=2),
+            )
+            try:
+                import threading
+
+                served = []
+                loop = (
+                    (lambda: served.append(server.serve(b)))
+                    if use_method
+                    else (lambda: served.append(serve_endpoint(server, b)))
+                )
+                thread = threading.Thread(target=loop)
+                thread.start()
+                initial = a.recv()
+                assert initial
+                for frame, label in frames:
+                    a.send((frame, label), nbytes=frame.nbytes)
+                    reply = a.recv()
+                    assert reply.update
+                a.send(None, nbytes=1)
+                thread.join(timeout=30)
+                return served[0]
+            finally:
+                b.close(), a.close()
+
+        assert run_one(True) == run_one(False) == len(frames)

@@ -1,0 +1,125 @@
+"""Transport error paths: every failure is loud, typed, and helpful.
+
+The satellite contract of ISSUE 4: a registry typo names the available
+transports, malformed wire buffers (truncated, oversized declarations,
+unknown versions/kinds) raise ``WireError`` instead of decoding
+garbage, and a wedged shm ring surfaces ``TimeoutError`` with slot
+diagnostics instead of hanging the process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.transport import registry, wire
+from repro.transport.shm import ShmRing, spawn_shm_pair
+
+
+class TestRegistryErrors:
+    def test_typo_message_lists_every_available_transport(self):
+        with pytest.raises(KeyError) as excinfo:
+            registry.get_transport("smh")  # classic transposition
+        message = str(excinfo.value)
+        assert "smh" in message
+        for name in ("inproc", "pipe", "shm", "socket"):
+            assert name in message
+
+    def test_spawn_on_inproc_names_the_transport(self):
+        with pytest.raises(ValueError, match="inproc"):
+            registry.spawn_server("inproc", lambda endpoint: None)
+
+    def test_serve_many_on_pipe_refused(self):
+        with pytest.raises(ValueError, match="pipe"):
+            registry.serve_many("pipe", lambda listener: None, n_clients=2)
+
+    def test_connect_on_pipe_refused(self):
+        with pytest.raises(ValueError, match="pipe"):
+            registry.connect("pipe", ("nowhere", 0))
+
+
+class TestWireDecodeErrors:
+    def _frame(self):
+        return wire.encode((np.ones((3, 8, 8), np.float32), None))
+
+    def test_truncated_header(self):
+        with pytest.raises(wire.WireError, match="header"):
+            wire.decode(self._frame()[: wire.HEADER_NBYTES - 1])
+
+    def test_truncated_body(self):
+        encoded = self._frame()
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode(encoded[: len(encoded) - 7])
+
+    def test_oversized_declared_length(self):
+        """A header declaring more bytes than the buffer holds must not
+        read past the end."""
+        bad = bytearray(self._frame())
+        huge = len(bad) * 1000
+        bad[6:14] = huge.to_bytes(8, "little")
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode(bad)
+
+    def test_undersized_declared_length(self):
+        """total_len smaller than the header itself is structurally
+        impossible and must be rejected before any body parsing."""
+        bad = bytearray(wire.encode(None))
+        bad[6:14] = (3).to_bytes(8, "little")
+        with pytest.raises(wire.WireError, match="smaller than a header"):
+            wire.decode(bad)
+
+    def test_unknown_version(self):
+        bad = bytearray(self._frame())
+        bad[2] = wire.VERSION + 41
+        with pytest.raises(wire.WireError, match="version"):
+            wire.decode(bad)
+
+    def test_unknown_kind(self):
+        bad = bytearray(self._frame())
+        bad[3] = 250
+        with pytest.raises(wire.WireError, match="kind"):
+            wire.decode(bad)
+
+    def test_session_out_of_header_range(self):
+        with pytest.raises(wire.WireError, match="session"):
+            wire.encode(None, session=wire.MAX_SESSION + 1)
+
+    def test_control_messages_roundtrip_with_session(self):
+        for ctl in (wire.Hello(3), wire.Accept(3), wire.Bye(65535)):
+            session, out = wire.decode_tagged(wire.encode(ctl))
+            assert out == ctl
+            assert session == ctl.session
+
+
+class TestShmTimeouts:
+    def test_recv_timeout_names_the_stuck_slot(self):
+        a, b = spawn_shm_pair(slots=2, slot_nbytes=4096, timeout_s=0.1)
+        try:
+            with pytest.raises(TimeoutError, match="slot"):
+                b.recv()
+        finally:
+            b.close(), a.close()
+
+    def test_send_timeout_when_peer_never_drains(self):
+        a, b = spawn_shm_pair(slots=2, slot_nbytes=4096, timeout_s=0.1)
+        try:
+            payload = np.zeros(64, np.uint8)
+            a.send(payload, 64)
+            a.send(payload, 64)
+            with pytest.raises(TimeoutError, match="timed out"):
+                a.send(payload, 64)
+        finally:
+            b.close(), a.close()
+
+    def test_corrupt_slot_fails_loudly_not_silently(self):
+        """A ring slot holding non-wire bytes raises WireError (the
+        magic/version check), never a silent mis-decode."""
+        ring = ShmRing(slots=2, slot_nbytes=4096)
+        try:
+            other = ShmRing.attach(ring.describe())
+            ring._payloads[0][:4] = b"XXXX"
+            ring._lens[0][...] = 64
+            ring._seq[0] = 1  # publish the garbage
+            with pytest.raises(wire.WireError):
+                other.recv_message(timeout_s=1.0)
+            other.close()
+        finally:
+            ring.close()

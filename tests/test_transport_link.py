@@ -161,3 +161,106 @@ class TestShapedEndpoint:
         with pytest.raises(TypeError):
             ShapedEndpoint(a, trace)
         a.close(), b.close()
+
+
+class TestAsymmetricPairs:
+    """Per-direction traces (ISSUE 4): uplink and downlink differ."""
+
+    def test_bundled_pair_compiles_and_is_asymmetric(self):
+        from repro.transport.link import (
+            BUNDLED_TRACE_PAIRS,
+            bundled_trace_pair,
+            lte_updown_pair,
+        )
+
+        assert set(BUNDLED_TRACE_PAIRS) == {"lte-updown"}
+        pair = bundled_trace_pair("lte-updown")
+        assert pair.up.samples == lte_updown_pair().up.samples
+        with pytest.raises(KeyError, match="lte-updown"):
+            bundled_trace_pair("starlink")
+        # The scenario's point: uplink is the slow direction.
+        assert pair.up.mean_mbps < pair.down.mean_mbps
+
+    def test_compiled_model_is_direction_aware(self):
+        from repro.transport.link import LinkTracePair
+
+        pair = LinkTracePair(
+            "t",
+            up=LinkTrace("up", ((0.0, 8.0),), base_latency_s=0.0),
+            down=LinkTrace("down", ((0.0, 80.0),), base_latency_s=0.0),
+        )
+        model = pair.to_network_model()
+        nbytes = 1_000_000
+        up_s = model.for_direction("up").transfer_time(nbytes, 0.0)
+        down_s = model.for_direction("down").transfer_time(nbytes, 0.0)
+        assert up_s == pytest.approx(10 * down_s)
+        # Direction-oblivious consumers get the conservative uplink.
+        assert model.transfer_time(nbytes, 0.0) == up_s
+        assert model.round_trip_time(nbytes, nbytes) == pytest.approx(up_s + down_s)
+        with pytest.raises(ValueError, match="direction"):
+            model.for_direction("sideways")
+
+    def test_client_timing_consumes_the_asymmetry(self):
+        """A simulated run over the pair differs from its mirror: the
+        binding direction matters, so both traces are really consumed."""
+        from repro.distill.config import DistillConfig
+        from repro.runtime.session import SessionConfig, run_shadowtutor
+        from repro.transport.link import LinkTracePair
+        from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+        pair = LinkTracePair(
+            "t",
+            up=LinkTrace("up", ((0.0, 4.0),), base_latency_s=0.0),
+            down=LinkTrace("down", ((0.0, 80.0),), base_latency_s=0.0),
+        )
+
+        def run(network):
+            video = make_category_video(
+                CATEGORY_BY_KEY["fixed-people"], height=32, width=48
+            )
+            config = SessionConfig(
+                distill=DistillConfig(max_updates=4, threshold=0.7,
+                                      min_stride=4, max_stride=16),
+                student_width=0.25, pretrain_steps=10, network=network,
+            )
+            return run_shadowtutor(video, 16, config, label="t")
+
+        slow_up = run(pair.to_network_model())
+        slow_down = run(pair.swapped().to_network_model())
+        assert slow_up.total_time_s != slow_down.total_time_s
+        # Identical serving decisions either way — only timing moves.
+        assert slow_up.num_key_frames >= 1
+
+    def test_shape_endpoint_pair_shapes_each_direction(self):
+        from repro.transport import wire
+        from repro.transport.link import LinkTracePair, shape_endpoint_pair
+
+        fake = _FakeTime()
+        pair = LinkTracePair(
+            "t",
+            up=LinkTrace("up", ((0.0, 8.0),), base_latency_s=0.0),     # 1 MB/s
+            down=LinkTrace("down", ((0.0, 80.0),), base_latency_s=0.0),  # 10 MB/s
+        )
+        client_ep, server_ep = spawn_shm_pair(
+            slots=4, slot_nbytes=1 << 20, timeout_s=5.0
+        )
+        shaped_client, shaped_server = shape_endpoint_pair(
+            client_ep, server_ep, pair, clock=fake.clock, sleep=fake.sleep
+        )
+        try:
+            payload = np.zeros(1_000_000, np.uint8)
+            nbytes = wire.encoded_nbytes(payload)
+
+            # Uplink (client -> server) held at the slow uplink rate.
+            shaped_client.send(payload, payload.nbytes)
+            before = fake.now
+            shaped_server.recv()
+            assert fake.now - before == pytest.approx(nbytes * 8 / 8e6)
+
+            # Downlink (server -> client) held at the fast downlink rate.
+            shaped_server.send(payload, payload.nbytes)
+            before = fake.now
+            shaped_client.recv()
+            assert fake.now - before == pytest.approx(nbytes * 8 / 80e6)
+        finally:
+            server_ep.close(), client_ep.close()
