@@ -4,10 +4,14 @@ The ISSUE-4 acceptance floor: one :class:`~repro.serving.runtime.
 ServerRuntime` process serving N concurrent client processes must be
 >= 2x the throughput of the same N sessions each spawning a dedicated
 pipe server process, on the broadcast frame workload — with per-session
-``RunStats`` bit-identical across both paths.  Regenerate manually
-with::
+``RunStats`` bit-identical across both paths.  ISSUE 5 adds the churn
+variant: the same floor must hold when the server starts with an empty
+blueprint table and every session is negotiated over the wire (ADMIT),
+i.e. dynamic admission must not eat the multiplexing win.  Regenerate
+manually with::
 
     PYTHONPATH=src python scripts/bench_perf.py --serve-many 4
+    PYTHONPATH=src python scripts/bench_perf.py --serve-many 4 --churn
 """
 
 import pytest
@@ -15,6 +19,7 @@ import pytest
 from repro.experiments.perf import (
     append_record,
     format_serve_many_record,
+    measure_serve_many_churn,
     measure_serve_many_throughput,
 )
 
@@ -43,4 +48,22 @@ def test_multiplexed_beats_dedicated_pipe_servers(results_sink):
     assert record["speedup"] >= 2.0
     # Append only after the floor holds, so a failing run cannot
     # pollute the committed perf trajectory.
+    append_record(record)
+
+
+@pytest.mark.benchmark(group="perf_serve_many")
+def test_wire_admitted_sessions_keep_the_floor(results_sink):
+    """The ISSUE-5 churn floor: sessions admitted over the wire (no
+    blueprint table at all) must not regress below the >= 2x
+    serve-many floor — admission is a handshake cost, not a per-frame
+    one, so the multiplexing win must survive it."""
+    record = measure_serve_many_churn(num_clients=6)
+    text = format_serve_many_record(record)
+    print(text)
+    results_sink(text)
+
+    assert record["bit_identical"]
+    assert record["churn"] is True
+    assert record["multiplexed"]["server_processes"] == 1
+    assert record["speedup"] >= 2.0
     append_record(record)

@@ -15,12 +15,18 @@ This demo runs the *real* thing in two shapes:
   N client connections in a single event loop, and shares bitwise-
   identical distillation work across client *processes*.  Each client
   process streams its own video category.
+* ``--late-joiners K`` — dynamic admission: the server starts with an
+  **empty blueprint table** and every client process negotiates its
+  session over the wire (ADMIT, docs/PROTOCOL.md); the last K clients
+  dial in staggered, *after* the server is already mid-run serving the
+  others — the mobile-clients-coming-and-going deployment.
 
 Run::
 
     python examples/two_process_demo.py --transport pipe
     python examples/two_process_demo.py --transport shm --clients 4
     python examples/two_process_demo.py --transport socket --clients 8
+    python examples/two_process_demo.py --transport shm --clients 4 --late-joiners 2
 """
 
 import argparse
@@ -112,10 +118,12 @@ def run_dedicated(args) -> None:
 
 
 def run_multiplexed(args) -> None:
-    """The ISSUE-4 deployment: 1 server process, N client processes."""
+    """The 1-server/N-client deployment — blueprinted (ISSUE 4) or
+    wire-admitted with late joiners (ISSUE 5)."""
     from repro.runtime.session import SessionConfig
     from repro.serving.runtime import (
         SessionBlueprint,
+        run_churn_processes,
         run_client_processes,
         start_server,
     )
@@ -126,20 +134,36 @@ def run_multiplexed(args) -> None:
         itertools.cycle(sorted(CATEGORY_BY_KEY)), args.clients
     ))
 
-    blueprints = [SessionBlueprint(config, hw) for _ in range(args.clients)]
+    late = args.late_joiners
+    blueprints = (
+        [] if late else
+        [SessionBlueprint(config, hw) for _ in range(args.clients)]
+    )
     start = time.perf_counter()
     handle = start_server(
         blueprints, transport=args.transport, n_clients=args.clients,
         idle_timeout_s=300,
     )
     print(f"multiplexing server pid={handle.process.pid} over "
-          f"{args.transport}, serving {args.clients} client process(es)")
+          f"{args.transport}, serving {args.clients} client process(es)"
+          + (f" — no blueprints, every session ADMITted over the wire, "
+             f"{late} joining late" if late else ""))
     try:
-        jobs = [
-            (config, hw, category, args.frames, category)
-            for category in categories
-        ]
-        stats = run_client_processes(handle, jobs, timeout_s=600)
+        if late:
+            # Stagger the last K clients: they dial a server that is
+            # already serving the others and negotiate mid-run.
+            jobs = [
+                (max(0.0, 1.5 * (i - (args.clients - late) + 1)),
+                 config, hw, category, args.frames, category)
+                for i, category in enumerate(categories)
+            ]
+            stats = run_churn_processes(handle, jobs, timeout_s=600)
+        else:
+            jobs = [
+                (config, hw, category, args.frames, category)
+                for category in categories
+            ]
+            stats = run_client_processes(handle, jobs, timeout_s=600)
     finally:
         handle.close()
     wall = time.perf_counter() - start
@@ -167,15 +191,25 @@ def main() -> None:
     parser.add_argument("--clients", type=int, default=None, metavar="N",
                         help="client processes served by ONE server process "
                              "(shm/socket only; default 4)")
+    parser.add_argument("--late-joiners", type=int, default=0, metavar="K",
+                        help="run with an empty blueprint table (every "
+                             "session ADMITted over the wire) and have the "
+                             "last K clients dial in staggered, against the "
+                             "already-running server (shm/socket only)")
     args = parser.parse_args()
 
     if args.transport == "pipe":
         if args.clients not in (None, 1):
             parser.error("--clients needs a multiplexing transport "
                          "(--transport shm or socket)")
+        if args.late_joiners:
+            parser.error("--late-joiners needs a multiplexing transport "
+                         "(--transport shm or socket)")
         run_dedicated(args)
     else:
         args.clients = args.clients or 4
+        if not 0 <= args.late_joiners <= args.clients:
+            parser.error("--late-joiners must be between 0 and --clients")
         run_multiplexed(args)
 
 

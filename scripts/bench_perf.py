@@ -21,7 +21,11 @@ counters, and the bit-identity check.
 server process serving N concurrent client processes (over
 ``--serve-transport``, shm by default) against the same N sessions
 each spawning a dedicated pipe server process, with per-session
-RunStats verified bit-identical across the two paths.
+RunStats verified bit-identical across the two paths.  Adding
+``--churn`` switches to the dynamic-admission variant: the server
+starts with an empty blueprint table and every client negotiates its
+session over the wire (ADMIT), so the recorded speedup includes the
+full wire-negotiated admission cost.
 
 Each invocation appends one schema-stamped record (``name``, ``pr``,
 ``git_rev``, timestamp), so the file accumulates the throughput
@@ -48,6 +52,7 @@ from repro.experiments.perf import (  # noqa: E402
     format_transport_record,
     measure_engine_speedup,
     measure_pool_throughput,
+    measure_serve_many_churn,
     measure_serve_many_throughput,
     measure_transport_throughput,
     migrate_records,
@@ -76,6 +81,10 @@ def main() -> int:
                         choices=("shm", "socket"),
                         help="transport for the multiplexed side of "
                              "--serve-many (default: shm)")
+    parser.add_argument("--churn", action="store_true",
+                        help="with --serve-many: start the server with no "
+                             "blueprints and have every client negotiate "
+                             "its session over the wire (dynamic admission)")
     parser.add_argument("--pr", default=None,
                         help="PR tag stamped on the record "
                              "(default: inferred from CHANGES.md)")
@@ -84,6 +93,9 @@ def main() -> int:
                              "records in --output, then exit")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_RESULTS_PATH)
     args = parser.parse_args()
+
+    if args.churn and args.serve_many is None:
+        parser.error("--churn needs --serve-many N")
 
     if args.migrate:
         updated = migrate_records(args.output)
@@ -94,7 +106,11 @@ def main() -> int:
         record = measure_transport_throughput(pr=args.pr)
         summary = format_transport_record(record)
     elif args.serve_many is not None:
-        record = measure_serve_many_throughput(
+        measure = (
+            measure_serve_many_churn if args.churn
+            else measure_serve_many_throughput
+        )
+        record = measure(
             num_clients=args.serve_many,
             num_frames=args.frames or 32,
             width=args.width,

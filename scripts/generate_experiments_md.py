@@ -432,6 +432,91 @@ def section_serve_many():
     )
 
 
+def section_churn():
+    """Session churn: late joiners and early leavers, admitted over
+    the wire.
+
+    Runs N client processes against ONE multiplexed server (shm) that
+    starts with an **empty blueprint table**: every session is
+    negotiated mid-run through the ADMIT handshake
+    (docs/PROTOCOL.md §5).  K of the N join late (staggered dials
+    against an already-serving runtime) and L leave early (shorter
+    streams), so joins and departures interleave; each admitted
+    session's RunStats is verified bit-identical to the same
+    configuration run in-process.
+    """
+    import time as _time
+
+    from repro.runtime.session import SessionConfig, run_shadowtutor
+    from repro.serving.runtime import run_churn_processes, start_server
+    from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+    frames = int(os.environ.get("REPRO_CHURN_FRAMES", "24"))
+    hw = (64, 96)
+    config = SessionConfig()
+    scenarios = [
+        # (n_clients, late joiners K with join delay, early leavers L)
+        (4, 2, 1),
+        (8, 4, 2),
+    ]
+    rows = []
+    for n, late, leavers in scenarios:
+        jobs = []
+        for index in range(n):
+            delay = 0.5 * (index - (n - late) + 1) if index >= n - late else 0.0
+            n_frames = frames // 2 if index < leavers else frames
+            jobs.append((delay, config, hw, "fixed-people", n_frames,
+                         f"c{index}"))
+        start = _time.perf_counter()
+        handle = start_server([], transport="shm", n_clients=n,
+                              idle_timeout_s=300)
+        try:
+            stats = run_churn_processes(handle, jobs, timeout_s=900)
+        finally:
+            handle.close()
+        wall = _time.perf_counter() - start
+        references = {}
+        identical = True
+        for got, (_, job_config, _, key, n_frames, _) in zip(stats, jobs):
+            if (key, n_frames) not in references:
+                video = make_category_video(
+                    CATEGORY_BY_KEY[key], height=hw[0], width=hw[1]
+                )
+                references[(key, n_frames)] = run_shadowtutor(
+                    video, n_frames, job_config, label="ref"
+                )
+            ref = references[(key, n_frames)]
+            identical = identical and got.signature(
+                include_label=False
+            ) == ref.signature(include_label=False)
+        total = sum(record.num_frames for record in stats)
+        rows.append([
+            f"{n} ({late} join late, {leavers} leave early)",
+            total,
+            f2(total / wall),
+            "yes" if identical else "NO",
+        ])
+    table = md_table(
+        ["clients (churn)", "frames", "aggregate f/s", "bit-identical"],
+        rows,
+    )
+    return (
+        "## Serving — session churn (dynamic admission)\n\n" + table +
+        f"\n\nChurn scenario over shm ({frames} frames for stayers, "
+        f"{frames // 2} for early leavers, width "
+        f"{config.student_width}): the server starts with NO session "
+        "blueprints — every client process dials the running "
+        "`ServerRuntime` and negotiates its session over the wire "
+        "(ADMIT/ACCEPT, docs/PROTOCOL.md), with late joiners admitted "
+        "while earlier sessions are mid-stream and early leavers "
+        "draining their slots for the capacity policy.  Every admitted "
+        "session's RunStats is bit-identical to the same configuration "
+        "run in-process (enforced end to end by "
+        "`tests/test_serving_churn.py` and the >= 2x churn floor in "
+        "`benchmarks/test_perf_serve_many.py`).\n"
+    )
+
+
 def main() -> None:
     scale = default_scale()
     t0 = time.time()
@@ -460,6 +545,7 @@ def main() -> None:
         section_perf(),
         section_serving(),
         section_serve_many(),
+        section_churn(),
         "## Bounds and planner (sections 5.3 / 6.2)\n\n"
         "| quantity | measured | paper |\n|---|---|---|\n",
     ]

@@ -16,3 +16,9 @@ timeout 300 python scripts/smoke_transport.py
 # processes (shm and socket) must match the in-process runs bit for
 # bit.  Hard timeout: a wedged event loop fails the gate, not hangs it.
 timeout 300 python scripts/smoke_serve_many.py
+# Docs smoke (ISSUE 5): the protocol spec cannot drift from wire.py
+# (the doc-sync test also runs inside the suite above; this re-run
+# keeps the gate explicit and costs under a second), and every fenced
+# python snippet in README/docs must compile with resolvable imports.
+timeout 120 python -m pytest -q tests/test_protocol_doc.py
+timeout 120 python scripts/check_doc_snippets.py

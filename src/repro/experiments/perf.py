@@ -463,46 +463,32 @@ def measure_transport_throughput(
     }
 
 
-def measure_serve_many_throughput(
-    num_clients: int = 4,
-    num_frames: int = 32,
-    width: float = 0.5,
-    category: str = "fixed-animals",
-    pretrain_steps: int = 80,
-    transport: str = "shm",
-    frame_hw: Tuple[int, int] = _FRAME_HW,
-    pr: Optional[str] = None,
+def _serve_many_benchmark(
+    num_clients: int,
+    num_frames: int,
+    width: float,
+    category: str,
+    pretrain_steps: int,
+    transport: str,
+    frame_hw: Tuple[int, int],
+    pr: Optional[str],
+    churn: bool,
 ) -> Dict:
-    """Benchmark multiplexed serving against dedicated server processes.
+    """Shared core of the serve-many benchmarks.
 
-    Multiplexed: ONE server process (:class:`~repro.serving.runtime.
-    ServerRuntime`) serves ``num_clients`` concurrent client processes
-    over ``transport`` — the ISSUE-4 deployment.  Baseline: the same
-    ``num_clients`` sessions served the PR-3 way, each spawning its own
-    dedicated pipe server process (per-session spawn, per-process
-    pre-training, pickled payloads).  Each session runs the real frame
-    workload: ``num_frames`` frames of one category stream with every
-    key frame crossing the transport as actual pixels.
-
-    The workload is the broadcast fan-out scenario the multiplexed
-    server exists to amortise — N viewers of one stream with a tight
-    key-frame cadence (min_stride 2, max_stride 4, the paper's
-    MAX_UPDATES = 8), so server-side distillation is the dominant cost
-    and the runtime's cross-process work sharing carries the speedup.
-    The dedicated baseline runs its N sessions back to back — exactly
-    how the PR-3 deployment serves N users from one operator process —
-    so on the single-core CI box the recorded speedup isolates the
-    sharing; on a multi-core box the concurrent client processes add
-    predict parallelism the sequential baseline does not get, and the
-    number stops being a pure sharing measurement.
-
-    Per-session ``RunStats`` are verified bit-identical between the two
-    paths (and hence to the in-process run); the recorded ``speedup``
-    is the acceptance number, floor-enforced at >= 2x by
-    ``benchmarks/test_perf_serve_many.py``.
+    Dedicated baseline: ``num_clients`` sessions served the PR-3 way,
+    each spawning its own dedicated pipe server process (per-session
+    spawn, per-process pre-training, pickled payloads), run back to
+    back.  Multiplexed side: ONE server process serving ``num_clients``
+    concurrent client processes over ``transport`` — with a blueprint
+    table (``churn=False``) or with every session negotiated over the
+    wire (``churn=True``).  The two variants differ *only* in how the
+    multiplexed side attaches, so their records stay structurally
+    identical and the trajectory stays comparable.
     """
     from repro.serving.runtime import (
         SessionBlueprint,
+        run_churn_processes,
         run_client_processes,
         start_server,
     )
@@ -541,18 +527,28 @@ def measure_serve_many_throughput(
         return time.perf_counter() - start, stats
 
     def run_multiplexed() -> Tuple[float, list]:
-        blueprints = [SessionBlueprint(config, frame_hw) for _ in range(num_clients)]
+        blueprints = (
+            [] if churn else
+            [SessionBlueprint(config, frame_hw) for _ in range(num_clients)]
+        )
         start = time.perf_counter()
         handle = start_server(
             blueprints, transport=transport, n_clients=num_clients,
             idle_timeout_s=120.0,
         )
         try:
-            jobs = [
-                (config, frame_hw, category, num_frames, f"m{index}")
-                for index in range(num_clients)
-            ]
-            stats = run_client_processes(handle, jobs, timeout_s=600.0)
+            if churn:
+                jobs = [
+                    (0.0, config, frame_hw, category, num_frames, f"c{index}")
+                    for index in range(num_clients)
+                ]
+                stats = run_churn_processes(handle, jobs, timeout_s=600.0)
+            else:
+                jobs = [
+                    (config, frame_hw, category, num_frames, f"m{index}")
+                    for index in range(num_clients)
+                ]
+                stats = run_client_processes(handle, jobs, timeout_s=600.0)
         finally:
             handle.close()
         return time.perf_counter() - start, stats
@@ -565,19 +561,20 @@ def measure_serve_many_throughput(
         for a, b in zip(mux_stats, dedicated_stats)
     )
     total_frames = num_clients * num_frames
-    return {
-        **record_meta("serve-many", pr),
+    protocol = {
+        "scheme": "partial",
+        "category": category,
+        "num_clients": num_clients,
+        "num_frames": num_frames,
+        "student_width": width,
+        "frame_hw": list(frame_hw),
+        "pretrain_steps": pretrain_steps,
+        "transport": transport,
+    }
+    record = {
+        **record_meta("serve-many-churn" if churn else "serve-many", pr),
         "kind": "serve_many",
-        "protocol": {
-            "scheme": "partial",
-            "category": category,
-            "num_clients": num_clients,
-            "num_frames": num_frames,
-            "student_width": width,
-            "frame_hw": list(frame_hw),
-            "pretrain_steps": pretrain_steps,
-            "transport": transport,
-        },
+        "protocol": protocol,
         "dedicated_pipe": {
             "wall_time_s": round(dedicated_wall, 3),
             "frames_per_s": round(total_frames / dedicated_wall, 3),
@@ -597,16 +594,94 @@ def measure_serve_many_throughput(
             "machine": platform.machine(),
         },
     }
+    if churn:
+        record["churn"] = True
+        protocol["admission"] = "wire-negotiated (empty blueprint table)"
+    return record
+
+
+def measure_serve_many_throughput(
+    num_clients: int = 4,
+    num_frames: int = 32,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 80,
+    transport: str = "shm",
+    frame_hw: Tuple[int, int] = _FRAME_HW,
+    pr: Optional[str] = None,
+) -> Dict:
+    """Benchmark multiplexed serving against dedicated server processes.
+
+    Multiplexed: ONE server process (:class:`~repro.serving.runtime.
+    ServerRuntime`) serves ``num_clients`` concurrent client processes
+    over ``transport`` — the ISSUE-4 deployment.  Baseline: the same
+    ``num_clients`` sessions served the PR-3 way, each spawning its own
+    dedicated pipe server process.  Each session runs the real frame
+    workload: ``num_frames`` frames of one category stream with every
+    key frame crossing the transport as actual pixels.
+
+    The workload is the broadcast fan-out scenario the multiplexed
+    server exists to amortise — N viewers of one stream with a tight
+    key-frame cadence (min_stride 2, max_stride 4, the paper's
+    MAX_UPDATES = 8), so server-side distillation is the dominant cost
+    and the runtime's cross-process work sharing carries the speedup.
+    The dedicated baseline runs its N sessions back to back — exactly
+    how the PR-3 deployment serves N users from one operator process —
+    so on the single-core CI box the recorded speedup isolates the
+    sharing; on a multi-core box the concurrent client processes add
+    predict parallelism the sequential baseline does not get, and the
+    number stops being a pure sharing measurement.
+
+    Per-session ``RunStats`` are verified bit-identical between the two
+    paths (and hence to the in-process run); the recorded ``speedup``
+    is the acceptance number, floor-enforced at >= 2x by
+    ``benchmarks/test_perf_serve_many.py``.
+    """
+    return _serve_many_benchmark(
+        num_clients, num_frames, width, category, pretrain_steps,
+        transport, frame_hw, pr, churn=False,
+    )
+
+
+def measure_serve_many_churn(
+    num_clients: int = 4,
+    num_frames: int = 32,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 80,
+    transport: str = "shm",
+    frame_hw: Tuple[int, int] = _FRAME_HW,
+    pr: Optional[str] = None,
+) -> Dict:
+    """Benchmark *dynamically admitted* serving against dedicated servers.
+
+    Same workload and baseline as :func:`measure_serve_many_throughput`,
+    but the multiplexed server starts with an **empty blueprint table**:
+    every client process dials the running server and negotiates its
+    session over the wire (the ISSUE-5 ADMIT handshake), so the
+    recorded ``speedup`` includes the full cost of wire-negotiated
+    admission — blueprint encode/decode, server-side session
+    construction mid-loop, and the churn-tolerant drain rule.  Clients
+    join with no artificial stagger (the measurement is admission
+    overhead, not sleep time); departures interleave naturally as
+    clients finish.  Floor-enforced alongside the blueprinted variant
+    at >= 2x by ``benchmarks/test_perf_serve_many.py``.
+    """
+    return _serve_many_benchmark(
+        num_clients, num_frames, width, category, pretrain_steps,
+        transport, frame_hw, pr, churn=True,
+    )
 
 
 def format_serve_many_record(record: Dict) -> str:
     """One-paragraph human summary of a serve-many record."""
     proto = record["protocol"]
     dedicated, mux = record["dedicated_pipe"], record["multiplexed"]
+    flavour = "admitted over the wire" if record.get("churn") else "blueprinted"
     return (
-        f"serve-many perf — {proto['num_clients']} client processes x "
-        f"{proto['num_frames']} frames ({proto['category']}, width "
-        f"{proto['student_width']}, {proto['transport']}):\n"
+        f"serve-many perf — {proto['num_clients']} client processes "
+        f"({flavour}) x {proto['num_frames']} frames ({proto['category']}, "
+        f"width {proto['student_width']}, {proto['transport']}):\n"
         f"  dedicated pipe servers ({dedicated['server_processes']} procs): "
         f"{dedicated['wall_time_s']:.2f}s ({dedicated['frames_per_s']:.1f} f/s)\n"
         f"  multiplexed (1 server proc): {mux['wall_time_s']:.2f}s "

@@ -33,26 +33,34 @@ bit-identical ``RunStats`` to N independent single-session runs.
 :mod:`repro.serving.runtime` carries the pool's economics across
 process boundaries: an event-driven :class:`~repro.serving.runtime.
 ServerRuntime` multiplexes N client connections (shm rings or TCP
-sockets) through one server process — one teacher, per-client
+sockets) through one server process — one teacher, per-session
 server-side students, shared distillation — with per-session
-``RunStats`` bit-identical to the in-process pool.
+``RunStats`` bit-identical to the in-process pool.  Sessions are not
+fixed at spawn: a client can dial a running server and negotiate a
+brand-new session over the wire (ADMIT/REJECT, wire v3 — see
+``docs/PROTOCOL.md``), bounded by a capacity policy and drained by a
+churn-tolerant exit rule.
 """
 
 from repro.serving.batched import BatchedPredictor
 from repro.serving.pool import PoolResult, SessionPool, SessionSpec
 from repro.serving.runtime import (
+    AdmissionError,
     ServerHandle,
     ServerRuntime,
     SessionAddress,
     SessionBlueprint,
     SessionTicket,
+    admit_message,
     run_client_processes,
+    run_churn_processes,
     start_server,
 )
 from repro.serving.scheduler import TickScheduler
 from repro.serving.shared import SharedDistillation
 
 __all__ = [
+    "AdmissionError",
     "BatchedPredictor",
     "PoolResult",
     "ServerHandle",
@@ -64,6 +72,8 @@ __all__ = [
     "SessionTicket",
     "SharedDistillation",
     "TickScheduler",
+    "admit_message",
     "run_client_processes",
+    "run_churn_processes",
     "start_server",
 ]

@@ -14,11 +14,28 @@ clients.  This module is that shape:
   Bitwise-identical key-frame work from different client *processes*
   routes through one :class:`~repro.serving.shared.SharedDistillation`
   cache, exactly as the in-process pool shares it between sessions.
-* the session protocol — HELLO/ACCEPT opens a session on a connection
-  (one link can carry many: a pooled client process runs all its
-  sessions over a single connection), BYE ends a session, the ``None``
+* the session protocol — HELLO/ACCEPT opens a *blueprinted* session on
+  a connection (one link can carry many: a pooled client process runs
+  all its sessions over a single connection), ADMIT/ACCEPT negotiates
+  a **brand-new** session against a running server (the blueprint
+  crosses the wire, the server assigns the id), REJECT refuses either
+  with a typed reason code, BYE ends a session, and the ``None``
   sentinel closes a connection.  Session ids tag every wire frame
-  (:mod:`repro.transport.wire` version 2).
+  (:mod:`repro.transport.wire` version 3; the normative spec is
+  ``docs/PROTOCOL.md``).
+* dynamic admission — the runtime no longer fixes its session
+  population at spawn: a client that was never blueprinted can dial a
+  running server mid-run, ship its blueprint in an ADMIT frame, and be
+  served exactly as a blueprinted session would be (same pre-trained
+  checkpoint, same deterministic trainer — so its ``RunStats`` stay
+  bit-identical to an in-process run).  A configurable capacity policy
+  (``max_sessions``) bounds concurrently open sessions; admission past
+  it is REJECTed with the ``capacity`` reason, loudly and cleanly.
+  The exit condition is a quiesce/drain rule that tolerates churn:
+  the runtime exits once every blueprinted session has ended, no
+  session remains open, and the listener's whole provisioned
+  connection population has come and gone — not when some fixed
+  session roster is done.
 * the client side — :class:`MuxConnection` demultiplexes tagged
   replies into per-session queues; :class:`MuxRemoteServer` gives
   :class:`~repro.runtime.client.Client` the same server surface
@@ -108,6 +125,91 @@ class SessionBlueprint:
         if getattr(self.config, "attach", None) is not None:
             self.config = dataclasses.replace(self.config, attach=None)
 
+    @classmethod
+    def from_admit(cls, admit: wire.Admit) -> "SessionBlueprint":
+        """Rebuild a blueprint from a wire ADMIT frame.
+
+        Semantic validation happens here (the wire layer only checks
+        the frame is structurally well-formed): a nonsensical geometry
+        or stride policy raises ``ValueError``, which the runtime turns
+        into a REJECT with the ``malformed-blueprint`` reason instead
+        of crashing the server every other client depends on.
+        """
+        from repro.distill.config import DistillConfig, DistillMode
+        from repro.runtime.session import SessionConfig
+
+        if admit.student_width <= 0:
+            raise ValueError(f"student width {admit.student_width} must be > 0")
+        if admit.student_seed < 0:
+            raise ValueError(f"student seed {admit.student_seed} must be >= 0")
+        if admit.pretrain_steps < 0:
+            raise ValueError("pretrain_steps must be >= 0")
+        if admit.frame_h < 1 or admit.frame_w < 1:
+            raise ValueError(
+                f"frame geometry {admit.frame_h}x{admit.frame_w} must be "
+                "at least 1x1"
+            )
+        distill = DistillConfig(
+            threshold=admit.threshold,
+            max_updates=admit.max_updates,
+            min_stride=admit.min_stride,
+            max_stride=admit.max_stride,
+            mode=DistillMode(admit.mode),
+            lr=admit.lr,
+            reset_optimizer_state=admit.reset_optimizer_state,
+        )
+        config = SessionConfig(
+            distill=distill,
+            student_width=admit.student_width,
+            student_seed=admit.student_seed,
+            pretrain_steps=admit.pretrain_steps,
+            teacher_boundary_noise=admit.teacher_boundary_noise,
+        )
+        return cls(config, (admit.frame_h, admit.frame_w))
+
+
+def admit_message(config, frame_hw: Tuple[int, int]) -> wire.Admit:
+    """The ADMIT frame a client sends to negotiate ``config`` as a new
+    session on a running server — the wire twin of
+    :meth:`SessionBlueprint.from_admit`.  Only server-relevant fields
+    cross: latency/network simulation, message-size accounting and
+    forced delays are client-side knobs the replies do not depend on.
+    """
+    distill = config.distill
+    return wire.Admit(
+        student_width=config.student_width,
+        student_seed=config.student_seed,
+        pretrain_steps=config.pretrain_steps,
+        frame_h=int(frame_hw[0]),
+        frame_w=int(frame_hw[1]),
+        mode=str(getattr(distill.mode, "value", distill.mode)),
+        threshold=distill.threshold,
+        max_updates=distill.max_updates,
+        min_stride=distill.min_stride,
+        max_stride=distill.max_stride,
+        lr=distill.lr,
+        reset_optimizer_state=distill.reset_optimizer_state,
+        teacher_boundary_noise=config.teacher_boundary_noise,
+    )
+
+
+class AdmissionError(RuntimeError):
+    """A running server refused this client's HELLO or ADMIT.
+
+    Carries the wire-level :class:`~repro.transport.wire.Reject` so
+    callers can branch on :attr:`code` (e.g. retry elsewhere on
+    ``capacity``, give up on ``malformed-blueprint``).
+    """
+
+    def __init__(self, reject: wire.Reject, context: str = "admission") -> None:
+        detail = f": {reject.detail}" if reject.detail else ""
+        super().__init__(
+            f"server refused {context} ({reject.reason}{detail})"
+        )
+        self.reject = reject
+        self.code = reject.code
+        self.reason = reject.reason
+
 
 class _LiveSession:
     """One open session inside the runtime."""
@@ -124,7 +226,10 @@ class ServerRuntime:
     Parameters
     ----------
     blueprints:
-        Session blueprints, indexed by session id.
+        Pre-provisioned session blueprints, indexed by session id
+        (HELLO names one of these).  May be empty: a pure-admission
+        server starts with no sessions at all and builds its whole
+        population from ADMIT frames.
     share_work:
         Attach one :class:`~repro.serving.shared.SharedDistillation` to
         every per-session server, so bitwise-identical key-frame work
@@ -134,28 +239,58 @@ class ServerRuntime:
         Hard deadline on a completely idle loop (no accepts, no
         messages): a lost client population raises ``TimeoutError``
         instead of wedging the server process forever.
+    max_sessions:
+        Capacity policy: the most sessions (blueprinted + admitted)
+        allowed *open at once*.  A HELLO or ADMIT past the cap is
+        REJECTed with the ``capacity`` reason; a session ending frees
+        its slot.  ``None`` means unbounded (the wire header's u16
+        session id is the only ceiling).
+    admit:
+        Accept ADMIT frames (dynamic session admission).  With it off,
+        an ADMIT is REJECTed with the ``admission-disabled`` reason and
+        the runtime serves only its blueprint table, as in PR 4.
     """
 
     def __init__(
         self,
-        blueprints: List[SessionBlueprint],
+        blueprints: List[SessionBlueprint] = (),
         share_work: bool = True,
         idle_timeout_s: float = 120.0,
+        max_sessions: Optional[int] = None,
+        admit: bool = True,
     ) -> None:
-        if not blueprints:
-            raise ValueError("ServerRuntime needs at least one SessionBlueprint")
+        if not blueprints and not admit:
+            raise ValueError(
+                "a ServerRuntime with admission disabled needs at least "
+                "one SessionBlueprint (it could never serve anything)"
+            )
         if len(blueprints) > wire.MAX_SESSION:
             raise ValueError("more sessions than the wire header can tag")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1 (or None)")
         self.blueprints = list(blueprints)
         self.idle_timeout_s = idle_timeout_s
+        self.max_sessions = max_sessions
+        self.admit = admit
         from repro.serving.shared import SharedDistillation
 
+        # With admission on the population can always grow past one
+        # session; a fixed single-blueprint server would pay cache
+        # inserts nothing can ever share.
         self._work_cache = (
-            SharedDistillation() if (share_work and len(blueprints) > 1) else None
+            SharedDistillation()
+            if share_work and (admit or len(self.blueprints) > 1)
+            else None
         )
         self._shared_teacher = None
         self._sessions: Dict[int, _LiveSession] = {}
         self._ended: set = set()
+        #: Blueprinted ids that have not ended yet — the runtime's
+        #: standing commitment; admitted sessions come and go freely.
+        self._pending_blueprints = set(range(len(self.blueprints)))
+        #: Next candidate id for an admitted session (blueprint ids are
+        #: reserved forever, even after their sessions end).
+        self._next_dynamic = len(self.blueprints)
         #: (served key frames per session id) — populated by :meth:`run`.
         self.frames_served: Dict[int, int] = {}
 
@@ -173,17 +308,19 @@ class ServerRuntime:
             return self._shared_teacher
         return OracleTeacher(config.teacher_boundary_noise)
 
-    def _open_session(self, session_id: int, connection) -> None:
+    def _at_capacity(self) -> bool:
+        return (
+            self.max_sessions is not None
+            and len(self._sessions) >= self.max_sessions
+        )
+
+    def _start_session(self, session_id: int, connection,
+                       blueprint: SessionBlueprint) -> None:
+        """Build the server half of one session and complete its
+        handshake: ACCEPT tagged with the id, then the initial STATE."""
         from repro.runtime.server import Server
         from repro.runtime.session import pretrained_student
 
-        if not 0 <= session_id < len(self.blueprints) or session_id in self._ended:
-            connection.send_tagged(session_id, wire.Bye(session_id))
-            return
-        if session_id in self._sessions:
-            connection.send_tagged(session_id, wire.Bye(session_id))
-            return
-        blueprint = self.blueprints[session_id]
         config = blueprint.config
         student = pretrained_student(
             config.student_width, config.student_seed,
@@ -197,15 +334,90 @@ class ServerRuntime:
         connection.send_tagged(session_id, wire.Accept(session_id))
         connection.send_tagged(session_id, dict(server.student.state_dict()))
 
+    def _open_session(self, session_id: int, connection) -> None:
+        """HELLO path: open a blueprinted session by its table index."""
+        if not 0 <= session_id < len(self.blueprints):
+            connection.send_tagged(session_id, wire.Reject(
+                session_id, wire.REJECT_UNKNOWN_SESSION,
+                f"no blueprint {session_id} "
+                f"(table has {len(self.blueprints)})",
+            ))
+            return
+        if session_id in self._sessions or session_id in self._ended:
+            connection.send_tagged(session_id, wire.Reject(
+                session_id, wire.REJECT_SESSION_IN_USE,
+                "session is already open" if session_id in self._sessions
+                else "session already ran and ended",
+            ))
+            return
+        if self._at_capacity():
+            connection.send_tagged(session_id, wire.Reject(
+                session_id, wire.REJECT_CAPACITY,
+                f"{len(self._sessions)}/{self.max_sessions} sessions open",
+            ))
+            return
+        self._start_session(session_id, connection, self.blueprints[session_id])
+
+    def _admit_session(self, connection, admit: wire.Admit) -> None:
+        """ADMIT path: negotiate a brand-new session mid-run.
+
+        The server assigns the id (never reusing one, so demux queues
+        and ``frames_served`` records stay unambiguous for the whole
+        runtime lifetime) and answers on session 0 with a REJECT when
+        it cannot — the requester owns no session id yet.
+        """
+        if not self.admit:
+            connection.send_tagged(0, wire.Reject(
+                0, wire.REJECT_DISABLED,
+                "this server only serves its spawn-time blueprints",
+            ))
+            return
+        if self._at_capacity():
+            connection.send_tagged(0, wire.Reject(
+                0, wire.REJECT_CAPACITY,
+                f"{len(self._sessions)}/{self.max_sessions} sessions open",
+            ))
+            return
+        try:
+            blueprint = SessionBlueprint.from_admit(admit)
+        except (ValueError, wire.WireError) as exc:
+            connection.send_tagged(0, wire.Reject(
+                0, wire.REJECT_MALFORMED, str(exc),
+            ))
+            return
+        session_id = self._next_dynamic
+        if session_id > wire.MAX_SESSION:
+            connection.send_tagged(0, wire.Reject(
+                0, wire.REJECT_CAPACITY,
+                "u16 session-id space exhausted for this runtime",
+            ))
+            return
+        self._next_dynamic += 1
+        try:
+            self._start_session(session_id, connection, blueprint)
+        except ValueError as exc:
+            # A blueprint that passed field validation can still break
+            # model construction (e.g. a width too small to yield any
+            # channels).  A wire-supplied blueprint must never crash
+            # the server other clients depend on — REJECT instead.
+            # The burned id is fine: ids are never reused anyway.
+            self._sessions.pop(session_id, None)
+            connection.send_tagged(0, wire.Reject(
+                0, wire.REJECT_MALFORMED, str(exc),
+            ))
+
     def _end_session(self, session_id: int) -> None:
         live = self._sessions.pop(session_id, None)
         if live is not None:
             self.frames_served[session_id] = live.frames_served
             self._ended.add(session_id)
+            self._pending_blueprints.discard(session_id)
 
     def _handle(self, connection, session_id: int, msg) -> None:
         if isinstance(msg, wire.Hello):
             self._open_session(session_id, connection)
+        elif isinstance(msg, wire.Admit):
+            self._admit_session(connection, msg)
         elif isinstance(msg, wire.Bye):
             self._end_session(session_id)
         elif isinstance(msg, tuple):
@@ -224,8 +436,35 @@ class ServerRuntime:
             )
 
     # ------------------------------------------------------------------
+    def _quiesced(self, connections: List[Any], closed: set,
+                  expected: Optional[int]) -> bool:
+        """The churn-tolerant drain rule (replaces PR 4's "every
+        blueprinted session BYEd"): the runtime may exit only once
+
+        * every blueprinted session has ended (the spawn-time
+          commitment still holds),
+        * no session — blueprinted or admitted — remains open,
+        * at least one connection was ever accepted, every accepted
+          connection has closed, **and** the listener's provisioned
+          population (``listener.expected``) has fully come and gone.
+
+        A quiet moment between a departure and a late joiner is *not*
+        quiescence: the joiner's connection has not yet closed (shm
+        rings exist from spawn and close only when their client does;
+        a TCP population is drained only at ``expected`` accepts), so
+        churn gaps of any length are tolerated.  A population that
+        never materialises is caught by the idle timeout instead.
+        """
+        return (
+            not self._pending_blueprints
+            and not self._sessions
+            and bool(connections)
+            and len(closed) == len(connections)
+            and (expected is None or len(connections) >= expected)
+        )
+
     def run(self, listener) -> Dict[int, int]:
-        """Serve until every blueprinted session has ended.
+        """Serve until the population drains (see :meth:`_quiesced`).
 
         ``listener`` yields client connections (``poll_accept``); each
         sweep of the loop first admits any pending connection, then
@@ -235,10 +474,11 @@ class ServerRuntime:
         """
         connections: List[Any] = []
         closed: set = set()
+        expected = getattr(listener, "expected", None)
         idle_deadline = time.monotonic() + self.idle_timeout_s
         sweeps = 0
         nap = _NAP_S
-        while len(self._ended) < len(self.blueprints):
+        while not self._quiesced(connections, closed, expected):
             progressed = False
             accepted = listener.poll_accept()
             if accepted is not None:
@@ -278,18 +518,24 @@ class ServerRuntime:
                 continue
             if time.monotonic() > idle_deadline:
                 raise TimeoutError(
-                    f"server runtime idle for {self.idle_timeout_s}s with "
-                    f"{len(self.blueprints) - len(self._ended)} session(s) pending"
+                    f"server runtime idle for {self.idle_timeout_s}s before "
+                    f"quiescing: {len(self._pending_blueprints)} blueprint(s) "
+                    f"never served, {len(self._sessions)} session(s) open, "
+                    f"{len(connections) - len(closed)} of {len(connections)} "
+                    f"connection(s) still up"
+                    + (f" (listener expects {expected})" if expected else "")
                 )
             time.sleep(nap)
             nap = min(2 * nap, _NAP_MAX_S)
         return dict(self.frames_served)
 
 
-def _runtime_entry(listener, blueprints, share_work, idle_timeout_s) -> None:
+def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
+                   max_sessions, admit) -> None:
     """Server-process entry point for :func:`start_server`."""
     ServerRuntime(
-        blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s
+        blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
+        max_sessions=max_sessions, admit=admit,
     ).run(listener)
 
 
@@ -329,11 +575,22 @@ class MuxConnection:
         return queue.popleft()
 
     # ------------------------------------------------------------------
+    def _initial_state(self, session: int) -> Dict[str, Any]:
+        state = self.recv_for(session)
+        if not isinstance(state, dict):
+            raise RuntimeError(
+                f"session {session} initial state was {type(state).__name__}"
+            )
+        return state
+
     def open_session(self, session: int) -> Dict[str, Any]:
         """HELLO → ACCEPT → initial state; returns the state dict."""
         self.send_tagged(session, wire.Hello(session))
         msg = self.recv_for(session)
+        if isinstance(msg, wire.Reject):
+            raise AdmissionError(msg, context=f"session {session}")
         if isinstance(msg, wire.Bye):
+            # Pre-v3 servers refused a HELLO with a bare BYE.
             raise RuntimeError(
                 f"server refused session {session} (unknown, duplicate, or "
                 "already ended)"
@@ -343,12 +600,32 @@ class MuxConnection:
                 f"handshake for session {session} got {type(msg).__name__}, "
                 "expected Accept"
             )
-        state = self.recv_for(session)
-        if not isinstance(state, dict):
-            raise RuntimeError(
-                f"session {session} initial state was {type(state).__name__}"
-            )
-        return state
+        return self._initial_state(session)
+
+    def admit_session(self, admit: wire.Admit) -> Tuple[int, Dict[str, Any]]:
+        """ADMIT → ACCEPT(id)/REJECT → initial state.
+
+        Negotiates a brand-new session against the running server and
+        returns ``(session_id, initial_state)`` — the id is *assigned
+        by the server*, so the answer cannot be awaited on a known
+        session queue: the first ACCEPT/REJECT control frame to arrive
+        answers the ADMIT (at most one admission is in flight per
+        connection — callers are synchronous), while data frames for
+        other sessions keep demultiplexing into their queues.
+        """
+        self.send_tagged(0, admit)
+        while True:
+            tag, msg = self.endpoint.recv_tagged()
+            if isinstance(msg, wire.Reject):
+                raise AdmissionError(msg)
+            if isinstance(msg, wire.Accept):
+                if msg.session != tag:
+                    raise RuntimeError(
+                        f"admission ACCEPT tagged {tag} names session "
+                        f"{msg.session}"
+                    )
+                return msg.session, self._initial_state(msg.session)
+            self._queues.setdefault(tag, deque()).append(msg)
 
     def close_session(self, session: int) -> None:
         try:
@@ -474,11 +751,17 @@ class SessionAddress:
     any process: ``build_session`` dials the transport, opens the
     session, and returns a normal :class:`~repro.runtime.client.Client`
     whose connection it owns.
+
+    ``session`` names a blueprinted session to HELLO; ``None`` means
+    *negotiate*: ``build_session`` ships its own configuration to the
+    running server in an ADMIT frame and serves whatever session id the
+    server assigns — how a client that was never blueprinted joins
+    mid-run.
     """
 
     transport: str
     info: Any
-    session: int
+    session: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -486,10 +769,12 @@ class SessionTicket:
     """In-process attachment point: sessions with tickets from one
     handle share that handle's single parent-side connection — how a
     :class:`~repro.serving.pool.SessionPool` runs all its sessions over
-    one link to one server process."""
+    one link to one server process.  ``session=None`` negotiates a new
+    session over that shared connection (ADMIT) instead of opening a
+    blueprinted one (HELLO)."""
 
     handle: "ServerHandle"
-    session: int
+    session: Optional[int] = None
 
 
 class ServerHandle:
@@ -505,9 +790,15 @@ class ServerHandle:
 
     # ------------------------------------------------------------------
     def ticket(self, session: int) -> SessionTicket:
-        """Attachment point for a session run in *this* process."""
+        """Attachment point for a blueprinted session run in *this*
+        process."""
         self._check_session(session)
         return SessionTicket(self, session)
+
+    def admit_ticket(self) -> SessionTicket:
+        """Attachment point that *negotiates* a brand-new session over
+        this handle's shared parent connection (ADMIT handshake)."""
+        return SessionTicket(self, None)
 
     def address(self, session: int, slot: Optional[int] = None) -> SessionAddress:
         """Picklable attachment point for a standalone client process.
@@ -518,6 +809,14 @@ class ServerHandle:
         self._check_session(session)
         info = self.link.address(session if slot is None else slot)
         return SessionAddress(self.transport, info, session)
+
+    def admit_address(self, slot: int) -> SessionAddress:
+        """Picklable attachment point for a standalone client process
+        that was *not* blueprinted: the client dials connection
+        ``slot`` and negotiates its session over the wire (ADMIT), so
+        it can join a server that is already mid-run."""
+        info = self.link.address(slot)
+        return SessionAddress(self.transport, info, None)
 
     def parent_connection(self) -> MuxConnection:
         """The single in-process connection every ticket shares (claims
@@ -565,20 +864,26 @@ class ServerHandle:
 
 
 def start_server(
-    blueprints: List[SessionBlueprint],
+    blueprints: List[SessionBlueprint] = (),
     transport: str = "shm",
     n_clients: int = 1,
     share_work: bool = True,
     idle_timeout_s: float = 120.0,
+    max_sessions: Optional[int] = None,
+    admit: bool = True,
     **options,
 ) -> ServerHandle:
-    """Spawn one multiplexing server process for ``blueprints``.
+    """Spawn one multiplexing server process.
 
     ``n_clients`` is the number of *connections* (client processes, or
     1 for a pool running every session over the parent's connection);
     sessions are a separate dimension — any connection can HELLO any
-    blueprinted session.  ``options`` pass through to the transport's
-    ``serve_many`` (ring geometry, timeouts).
+    blueprinted session or ADMIT a new one (``blueprints`` may be
+    empty for a pure-admission server).  ``max_sessions`` caps the
+    concurrently open sessions (REJECT past it); ``admit=False``
+    restores the fixed-at-spawn PR-4 behaviour.  ``options`` pass
+    through to the transport's ``serve_many`` (ring geometry,
+    timeouts).
     """
     import functools
 
@@ -589,6 +894,8 @@ def start_server(
         blueprints=list(blueprints),
         share_work=share_work,
         idle_timeout_s=idle_timeout_s,
+        max_sessions=max_sessions,
+        admit=admit,
     )
     link, process = registry.serve_many(transport, target, n_clients, **options)
     return ServerHandle(transport, link, process, len(blueprints))
@@ -604,6 +911,10 @@ def attach_session(config, frame_hw, stride_policy):
 
     A :class:`SessionTicket` shares its handle's parent connection; a
     :class:`SessionAddress` dials its own connection and owns it.
+    Either kind with ``session=None`` *negotiates*: the session's
+    blueprint (derived from ``config`` and ``frame_hw``) crosses the
+    wire in an ADMIT frame and the server assigns the id — the client
+    needs no spawn-time blueprint at all.
     """
     from repro.models.student import StudentNet
     from repro.runtime.client import Client
@@ -624,7 +935,12 @@ def attach_session(config, frame_hw, stride_policy):
             f"got {type(attach).__name__}"
         )
     try:
-        initial_state = connection.open_session(session)
+        if session is None:
+            session, initial_state = connection.admit_session(
+                admit_message(config, frame_hw)
+            )
+        else:
+            initial_state = connection.open_session(session)
         remote = MuxRemoteServer(
             connection, session, config.distill, config.sizes,
             owns_connection=owns,
@@ -654,13 +970,17 @@ def attach_session(config, frame_hw, stride_policy):
 # Standalone client processes (the N-process deployment)
 # ----------------------------------------------------------------------
 def _client_process_main(address, config, frame_hw, video_key, num_frames,
-                         label, result_conn) -> None:
+                         label, result_conn, delay_s: float = 0.0) -> None:
     import dataclasses as _dc
 
     from repro.runtime.session import build_session
     from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
     try:
+        if delay_s > 0.0:
+            # Churn: this client joins a server that is already serving
+            # others — the dial-and-ADMIT handshake happens mid-run.
+            time.sleep(delay_s)
         config = _dc.replace(config, attach=address)
         client = build_session(config, frame_hw)
         try:
@@ -689,16 +1009,35 @@ def run_client_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
     per-session ``RunStats`` list.  This is the deployment the ISSUE's
     acceptance names: one server process, N client processes.
     """
+    jobs = [(0.0, *job) for job in jobs]
+    return _run_processes(handle, jobs, timeout_s, admit=False)
+
+
+def run_churn_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
+    """Run staggered, dynamically-admitted client processes.
+
+    ``jobs`` is a list of ``(delay_s, config, frame_hw, video_key,
+    num_frames, label)`` tuples, one per connection slot in order: each
+    client process sleeps ``delay_s``, *then* dials the running server
+    and negotiates its session over the wire (ADMIT — no blueprint
+    existed at spawn).  Different delays and frame counts interleave
+    joins and departures; returns the per-job ``RunStats`` list.
+    """
+    return _run_processes(handle, jobs, timeout_s, admit=True)
+
+
+def _run_processes(handle: ServerHandle, jobs, timeout_s: float, admit: bool):
     import multiprocessing as mp
 
     workers = []
-    for session, (config, frame_hw, video_key, num_frames, label) in enumerate(jobs):
+    for slot, (delay_s, config, frame_hw, video_key, num_frames,
+               label) in enumerate(jobs):
         parent_conn, child_conn = mp.Pipe(duplex=False)
-        address = handle.address(session)
+        address = handle.admit_address(slot) if admit else handle.address(slot)
         proc = mp.Process(
             target=_client_process_main,
             args=(address, config, frame_hw, video_key, num_frames,
-                  label, child_conn),
+                  label, child_conn, delay_s),
             daemon=True,
         )
         proc.start()

@@ -41,6 +41,13 @@ class StaticListener:
     The server runtime polls ``poll_accept`` exactly like a socket
     listener; here every connection already exists, so each call hands
     out the next one until the set is exhausted.
+
+    Listener contract (what the runtime's churn-tolerant drain rule
+    consumes): ``poll_accept()`` returns a new connection or ``None``,
+    and ``expected`` is the provisioned connection population — the
+    runtime refuses to quiesce until that many connections have been
+    accepted *and* closed, so a late joiner (a client that dials a
+    pre-created slot long after spawn) always finds the server alive.
     """
 
     def __init__(self, endpoints) -> None:

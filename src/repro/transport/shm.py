@@ -421,6 +421,14 @@ class ShmManyLink:
     and are unlinked exactly once, at :meth:`close`.  A slot is used by
     exactly one client: either the parent itself (:meth:`connect`) or a
     child process that re-maps it from :meth:`address`.
+
+    Slots are the shm transport's notion of a *provisioned connection
+    population*: a late joiner claims its pre-created slot whenever it
+    starts (rings carry no handshake state until then), and the server
+    runtime's drain rule counts every slot as expected — provision
+    ``n_clients`` = the number of clients that will eventually dial,
+    and make sure each one runs and closes, or the idle timeout is
+    what ends the server.
     """
 
     def __init__(self, pairs, timeout_s: float) -> None:

@@ -209,8 +209,13 @@ class SocketListener:
 
     ``poll_accept`` returns a new connection when one is pending and
     None otherwise, so the server's event loop interleaves accepting
-    late joiners with serving already-connected clients.  Stops
-    accepting after ``expected`` connections.
+    late joiners with serving already-connected clients — a client may
+    dial (and ADMIT a brand-new session) at any point mid-run.  Stops
+    accepting after ``expected`` connections; ``expected`` is also the
+    drain contract the runtime's quiesce rule reads: the server only
+    exits once that whole population has connected *and* closed, so a
+    churn gap between a departure and a not-yet-dialed joiner never
+    kills it.
     """
 
     def __init__(self, sock: _socket.socket, expected: int, timeout_s: float) -> None:

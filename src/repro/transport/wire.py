@@ -15,8 +15,12 @@ kind           payload
 ``PRED``       a teacher prediction (the naive-offloading downlink)
 ``HELLO``      connection handshake: a client asks the multiplexing
                server to start session ``header.session``
-``ACCEPT``     the server's answer to ``HELLO``
+``ACCEPT``     the server's answer to ``HELLO`` or ``ADMIT``
 ``BYE``        ends one session without closing the connection
+``ADMIT``      a client asks a *running* server to create a brand-new
+               session from the serialized blueprint in the body
+``REJECT``     the server refuses a ``HELLO``/``ADMIT`` with a typed
+               reason code (capacity, malformed blueprint, ...)
 =============  ====================================================
 
 Every message is ``MAGIC | version | kind | u16 session | u64
@@ -34,6 +38,21 @@ ServerRuntime` serves N clients from one process, and a pooled client
 process runs N sessions over one connection.  Point-to-point callers
 leave it at 0; the HELLO/ACCEPT/BYE handshake opens and closes
 individual sessions while SHUTDOWN still closes the whole connection.
+
+Version 3 adds dynamic session admission: an ``ADMIT`` frame carries a
+pickle-free session blueprint (student geometry, stride policy,
+distillation mode, seeds — every field a typed 0-d array through the
+same ``write_array`` framing STATE bodies use), so a client that was
+never blueprinted at spawn can negotiate a new session with a running
+server; the server answers ``ACCEPT`` tagged with the session id *it*
+assigned, or ``REJECT`` with a reason code.  A decoder accepts
+version-2 frames unchanged (the header layout is identical and every
+v2 kind kept its code), but the v3-only kinds are invalid in a frame
+claiming version 2.
+
+The normative byte-level spec lives in ``docs/PROTOCOL.md``;
+``tests/test_protocol_doc.py`` asserts this module and that document
+agree on every constant.
 
 Encoding is allocation-disciplined: :func:`encode_into` writes straight
 into a caller-provided buffer (the shm transport hands it a slot of the
@@ -56,7 +75,7 @@ from repro.nn.serialize import array_wire_nbytes, read_array, write_array
 from repro.runtime.server import ServerReply
 
 MAGIC = b"ST"
-VERSION = 2
+VERSION = 3
 
 KIND_SHUTDOWN = 0
 KIND_STATE = 1
@@ -66,9 +85,30 @@ KIND_PRED = 4
 KIND_HELLO = 5
 KIND_ACCEPT = 6
 KIND_BYE = 7
+KIND_ADMIT = 8
+KIND_REJECT = 9
 
-_KINDS = frozenset(range(8))
-_CONTROL_KINDS = frozenset((KIND_HELLO, KIND_ACCEPT, KIND_BYE))
+_KINDS = frozenset(range(10))
+#: Kinds a version-2 frame may carry (v3 added ADMIT/REJECT).
+_V2_KINDS = frozenset(range(8))
+_CONTROL_KINDS = frozenset(
+    (KIND_HELLO, KIND_ACCEPT, KIND_BYE, KIND_ADMIT, KIND_REJECT)
+)
+
+#: REJECT reason codes (the ``code`` field of :class:`Reject`).
+REJECT_UNKNOWN_SESSION = 1   #: HELLO for an id outside the blueprint table
+REJECT_SESSION_IN_USE = 2    #: HELLO for an id already open or already ended
+REJECT_CAPACITY = 3          #: admission refused: server at max_sessions
+REJECT_MALFORMED = 4         #: ADMIT blueprint failed validation
+REJECT_DISABLED = 5          #: server runs with dynamic admission off
+
+REJECT_REASONS = {
+    REJECT_UNKNOWN_SESSION: "unknown-session",
+    REJECT_SESSION_IN_USE: "session-in-use",
+    REJECT_CAPACITY: "capacity",
+    REJECT_MALFORMED: "malformed-blueprint",
+    REJECT_DISABLED: "admission-disabled",
+}
 
 # magic, version, kind, session, total_len
 _HEADER = struct.Struct("<2sBBHQ")
@@ -80,6 +120,7 @@ MAX_SESSION = 0xFFFF
 _REPLY_HEAD = struct.Struct("<ddI")  # metric, initial_metric, steps
 _COUNT = struct.Struct("<I")
 _NAME_LEN = struct.Struct("<H")
+_REJECT_HEAD = struct.Struct("<HH")  # reason code, detail byte length
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,10 +145,112 @@ class Bye:
     session: int
 
 
+@dataclasses.dataclass(frozen=True)
+class Admit:
+    """Client → server: create a brand-new session from this blueprint.
+
+    Carries everything the server needs to build the session's server
+    half — the student's geometry and seed, the frame geometry, and the
+    full distillation/striding configuration.  The header's session
+    field is meaningless for ADMIT (senders put 0): the *server* picks
+    an unused id and answers with ``Accept(session)`` followed by the
+    initial STATE, or with ``Reject`` carrying a reason code.
+
+    Client-side-only knobs (latency/network simulation, message-size
+    accounting, forced delays) deliberately stay out of the blueprint:
+    the server's replies do not depend on them, so the negotiated
+    session stays bit-identical to an in-process run of the same
+    configuration.
+    """
+
+    student_width: float
+    student_seed: int
+    pretrain_steps: int
+    frame_h: int
+    frame_w: int
+    mode: str                          #: "partial" | "full"
+    threshold: float
+    max_updates: int
+    min_stride: int
+    max_stride: int
+    lr: float
+    reset_optimizer_state: bool
+    teacher_boundary_noise: float = 0.0
+
+    _FLOAT_FIELDS = ("student_width", "threshold", "lr",
+                     "teacher_boundary_noise")
+    _INT_FIELDS = ("student_seed", "pretrain_steps", "frame_h", "frame_w",
+                   "max_updates", "min_stride", "max_stride")
+    _MODES = ("partial", "full")
+
+    def to_state(self) -> "OrderedDict[str, np.ndarray]":
+        """Blueprint as named 0-d arrays — the exact STATE body framing,
+        so ADMIT rides the typed-header array machinery unchanged."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name in self._FLOAT_FIELDS:
+            state[name] = np.float64(getattr(self, name))
+        for name in self._INT_FIELDS:
+            state[name] = np.int64(getattr(self, name))
+        state["mode"] = np.uint8(self._MODES.index(self.mode))
+        state["reset_optimizer_state"] = np.uint8(self.reset_optimizer_state)
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, np.ndarray]) -> "Admit":
+        """Inverse of :meth:`to_state`; raises :class:`WireError` on a
+        malformed blueprint (missing/unknown fields, bad mode code)."""
+        expected = set(cls._FLOAT_FIELDS) | set(cls._INT_FIELDS) | {
+            "mode", "reset_optimizer_state",
+        }
+        got = set(state)
+        if got != expected:
+            missing = sorted(expected - got)
+            unknown = sorted(got - expected)
+            raise WireError(
+                f"malformed ADMIT blueprint: missing fields {missing}, "
+                f"unknown fields {unknown}"
+            )
+        mode_code = int(np.asarray(state["mode"]).reshape(()))
+        if not 0 <= mode_code < len(cls._MODES):
+            raise WireError(
+                f"malformed ADMIT blueprint: unknown mode code {mode_code}"
+            )
+        kwargs: Dict[str, object] = {"mode": cls._MODES[mode_code]}
+        for name in cls._FLOAT_FIELDS:
+            kwargs[name] = float(np.asarray(state[name]).reshape(()))
+        for name in cls._INT_FIELDS:
+            kwargs[name] = int(np.asarray(state[name]).reshape(()))
+        kwargs["reset_optimizer_state"] = bool(
+            int(np.asarray(state["reset_optimizer_state"]).reshape(()))
+        )
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class Reject:
+    """Server → client: HELLO/ADMIT refused.
+
+    ``code`` is one of the ``REJECT_*`` constants; ``detail`` is a
+    short human-readable elaboration (UTF-8, at most 64 KiB).  For a
+    refused ADMIT the session field echoes the request's (0 — no id
+    was ever assigned); for a refused HELLO it names the session the
+    client asked for.
+    """
+
+    session: int
+    code: int
+    detail: str = ""
+
+    @property
+    def reason(self) -> str:
+        """Symbolic name of :attr:`code` (``"capacity"``, ...)."""
+        return REJECT_REASONS.get(self.code, f"code-{self.code}")
+
+
 #: Messages the format understands (see module docstring).
 Message = Union[
     None, Dict[str, np.ndarray], Tuple, ServerReply, np.ndarray,
-    Hello, Accept, Bye,
+    Hello, Accept, Bye, Admit, Reject,
 ]
 
 
@@ -126,6 +269,10 @@ def _kind_of(obj: Message) -> int:
         return KIND_ACCEPT
     if isinstance(obj, Bye):
         return KIND_BYE
+    if isinstance(obj, Admit):
+        return KIND_ADMIT
+    if isinstance(obj, Reject):
+        return KIND_REJECT
     if isinstance(obj, dict):
         return KIND_STATE
     if isinstance(obj, tuple):
@@ -181,6 +328,10 @@ def encoded_nbytes(obj: Message) -> int:
         total += _REPLY_HEAD.size + _state_nbytes(obj.update)
     elif kind == KIND_PRED:
         total += array_wire_nbytes(obj)
+    elif kind == KIND_ADMIT:
+        total += _state_nbytes(obj.to_state())
+    elif kind == KIND_REJECT:
+        total += _REJECT_HEAD.size + len(obj.detail.encode())
     return total
 
 
@@ -219,7 +370,7 @@ def encode_into(obj: Message, buf: memoryview, session: int = 0) -> int:
     handshake messages carry their own session id and ignore it.
     """
     kind = _kind_of(obj)
-    if kind in _CONTROL_KINDS:
+    if kind in _CONTROL_KINDS and kind != KIND_ADMIT:
         session = obj.session
     if not 0 <= session <= MAX_SESSION:
         raise WireError(f"session id {session} does not fit the u16 header field")
@@ -243,6 +394,16 @@ def encode_into(obj: Message, buf: memoryview, session: int = 0) -> int:
         offset = _write_state(buf, offset, obj.update)
     elif kind == KIND_PRED:
         offset = write_array(buf, offset, obj)
+    elif kind == KIND_ADMIT:
+        offset = _write_state(buf, offset, obj.to_state())
+    elif kind == KIND_REJECT:
+        detail = obj.detail.encode()
+        if len(detail) > 0xFFFF:
+            raise WireError("REJECT detail does not fit the u16 length field")
+        _REJECT_HEAD.pack_into(buf, offset, obj.code, len(detail))
+        offset += _REJECT_HEAD.size
+        buf[offset : offset + len(detail)] = detail
+        offset += len(detail)
     assert offset == total, "encoder wrote a different size than it declared"
     return total
 
@@ -264,10 +425,14 @@ def peek_header(buf: memoryview) -> Tuple[int, int, int]:
     magic, version, kind, session, total = _HEADER.unpack_from(buf, 0)
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in (2, VERSION):
         raise WireError(f"unsupported wire version {version}")
     if kind not in _KINDS:
         raise WireError(f"unknown message kind {kind}")
+    if version == 2 and kind not in _V2_KINDS:
+        raise WireError(
+            f"message kind {kind} needs wire version 3, frame claims {version}"
+        )
     if total < HEADER_NBYTES:
         raise WireError(f"declared total length {total} is smaller than a header")
     return kind, session, total
@@ -299,6 +464,14 @@ def decode_tagged(buf: Union[bytes, bytearray, memoryview]) -> Tuple[int, Messag
         return session, Accept(session)
     if kind == KIND_BYE:
         return session, Bye(session)
+    if kind == KIND_ADMIT:
+        state, _ = _read_state(buf, offset)
+        return session, Admit.from_state(state)
+    if kind == KIND_REJECT:
+        code, detail_len = _REJECT_HEAD.unpack_from(buf, offset)
+        offset += _REJECT_HEAD.size
+        detail = bytes(buf[offset : offset + detail_len]).decode()
+        return session, Reject(session, int(code), detail)
     if kind == KIND_STATE:
         state, _ = _read_state(buf, offset)
         return session, state

@@ -51,6 +51,14 @@ class TestExamples:
         assert "2 client processes" in out
         assert "exited with code 0" in out
 
+    def test_two_process_demo_late_joiners(self):
+        out = run_example("two_process_demo.py", "--frames", "12",
+                          "--transport", "shm", "--clients", "2",
+                          "--late-joiners", "1")
+        assert "ADMITted over the wire" in out
+        assert "1 joining late" in out
+        assert "exited with code 0" in out
+
     def test_sequence_extension(self):
         out = run_example("sequence_extension.py", "--windows", "200")
         assert "tutored accuracy" in out

@@ -1,0 +1,200 @@
+"""Doc-sync test: docs/PROTOCOL.md must match wire.py, byte for byte.
+
+The protocol spec is normative and test-enforced: every table marked
+with a ``<!-- table:NAME -->`` comment is parsed here and checked
+against the implementation's actual magic numbers, header layouts,
+kind codes, blueprint fields and reason codes.  Change either side
+without the other and this test fails — the documentation cannot
+silently rot (ISSUE 5).
+"""
+
+import pathlib
+import re
+import struct
+
+import numpy as np
+import pytest
+
+from repro.transport import wire
+
+DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "PROTOCOL.md"
+
+
+def _tables():
+    """Parse every marked markdown table into {name: [row cells...]}."""
+    text = DOC.read_text()
+    tables = {}
+    for match in re.finditer(r"<!-- table:([a-z0-9-]+) -->", text):
+        rest = text[match.end():]
+        rows = []
+        started = False
+        for line in rest.splitlines():
+            line = line.strip()
+            if not line:
+                if started:
+                    break
+                continue
+            if not line.startswith("|"):
+                if started:
+                    break
+                continue
+            started = True
+            cells = [c.strip() for c in line.strip("|").split("|")]
+            if all(set(c) <= {"-", ":", " "} for c in cells):
+                continue  # the header separator row
+            rows.append(cells)
+        tables[match.group(1)] = rows[1:]  # drop the header row
+    return tables
+
+
+TABLES = _tables()
+
+
+def _code(cell: str) -> str:
+    """Strip markdown backticks from a table cell."""
+    return cell.strip("`")
+
+
+def _header_offsets(fmt: str):
+    """(offset, size) per field of a struct format, in order."""
+    fields = re.findall(r"\d*[a-zA-Z]", fmt.lstrip("<"))
+    offsets, offset = [], 0
+    for field in fields:
+        size = struct.calcsize("<" + field)
+        offsets.append((offset, size))
+        offset += size
+    return offsets
+
+
+class TestCoreConstants:
+    def rows(self):
+        return {_code(r[0]): _code(r[1]) for r in TABLES["constants"]}
+
+    def test_doc_has_all_marked_tables(self):
+        assert set(TABLES) == {
+            "constants", "header-v3", "header-v1", "kinds",
+            "admit-fields", "reject-codes",
+        }
+
+    def test_magic(self):
+        assert self.rows()["MAGIC"] == f'"{wire.MAGIC.decode()}"'
+
+    def test_version(self):
+        assert int(self.rows()["VERSION"]) == wire.VERSION
+
+    def test_header_nbytes(self):
+        assert int(self.rows()["HEADER_NBYTES"]) == wire.HEADER_NBYTES
+
+    def test_max_session(self):
+        assert int(self.rows()["MAX_SESSION"]) == wire.MAX_SESSION
+
+    def test_header_struct_format(self):
+        assert self.rows()["header struct"] == wire._HEADER.format
+
+
+class TestHeaderLayouts:
+    def _check(self, table_name, fmt, field_names):
+        rows = TABLES[table_name]
+        assert [_code(r[2]) for r in rows] == field_names
+        expected = _header_offsets(fmt)
+        for row, (offset, size) in zip(rows, expected):
+            assert int(row[0]) == offset, f"{table_name}: {row[2]} offset"
+            assert int(row[1]) == size, f"{table_name}: {row[2]} size"
+        assert sum(s for _, s in expected) == struct.calcsize(fmt)
+
+    def test_v3_layout_matches_implementation(self):
+        self._check(
+            "header-v3", wire._HEADER.format,
+            ["magic", "version", "kind", "session", "total_len"],
+        )
+        assert struct.calcsize(wire._HEADER.format) == wire.HEADER_NBYTES
+
+    def test_v1_layout_is_the_recorded_history(self):
+        self._check(
+            "header-v1", "<2sBBQ",
+            ["magic", "version", "kind", "total_len"],
+        )
+        assert struct.calcsize("<2sBBQ") == 12
+
+
+class TestKindCodes:
+    def rows(self):
+        return {
+            _code(r[1]): (int(r[0]), r[2]) for r in TABLES["kinds"]
+        }
+
+    def test_every_documented_kind_matches_the_code(self):
+        rows = self.rows()
+        for name, (code, _) in rows.items():
+            assert getattr(wire, f"KIND_{name}") == code, name
+
+    def test_kind_space_is_exactly_the_documented_one(self):
+        doc_codes = {code for code, _ in self.rows().values()}
+        assert doc_codes == set(wire._KINDS)
+        impl_kinds = {
+            n for n in dir(wire) if n.startswith("KIND_")
+        }
+        assert impl_kinds == {f"KIND_{name}" for name in self.rows()}
+
+    def test_since_column_matches_the_v2_kind_set(self):
+        for name, (code, since) in self.rows().items():
+            if since in ("v1", "v2"):
+                assert code in wire._V2_KINDS, name
+            else:
+                assert since == "v3" and code not in wire._V2_KINDS, name
+
+
+class TestAdmitBlueprintFields:
+    def rows(self):
+        return {_code(r[0]): _code(r[1]) for r in TABLES["admit-fields"]}
+
+    def test_field_set_and_dtypes_match_the_wire_encoding(self):
+        documented = self.rows()
+        admit = wire.Admit(
+            student_width=0.5, student_seed=0, pretrain_steps=1,
+            frame_h=2, frame_w=3, mode="partial", threshold=0.5,
+            max_updates=1, min_stride=1, max_stride=2, lr=0.1,
+            reset_optimizer_state=True,
+        )
+        state = admit.to_state()
+        assert set(documented) == set(state)
+        for name, value in state.items():
+            assert np.asarray(value).dtype.name == documented[name], name
+
+    def test_mode_codes_match(self):
+        assert wire.Admit._MODES == ("partial", "full")
+
+
+class TestRejectCodes:
+    def test_reason_table_matches_implementation_exactly(self):
+        documented = {
+            int(r[0]): _code(r[1]) for r in TABLES["reject-codes"]
+        }
+        assert documented == wire.REJECT_REASONS
+
+
+class TestDocExamplesAreHonest:
+    """The spec's claims that are cheap to execute, executed."""
+
+    def test_empty_body_kinds_are_exactly_header_nbytes(self):
+        for msg in (None, wire.Hello(1), wire.Accept(1), wire.Bye(1)):
+            assert wire.encoded_nbytes(msg) == wire.HEADER_NBYTES
+
+    def test_admit_body_is_a_state_body(self):
+        admit = wire.Admit(
+            student_width=0.5, student_seed=0, pretrain_steps=1,
+            frame_h=2, frame_w=3, mode="full", threshold=0.5,
+            max_updates=1, min_stride=1, max_stride=2, lr=0.1,
+            reset_optimizer_state=False,
+        )
+        as_admit = wire.encode(admit)
+        as_state = wire.encode(dict(admit.to_state()))
+        # Identical bytes past the kind byte: same body framing.
+        assert as_admit[wire.HEADER_NBYTES:] == as_state[wire.HEADER_NBYTES:]
+
+    def test_reject_body_layout(self):
+        reject = wire.Reject(5, wire.REJECT_CAPACITY, "full")
+        body = wire.encode(reject)[wire.HEADER_NBYTES:]
+        code, detail_len = struct.unpack_from("<HH", body, 0)
+        assert code == wire.REJECT_CAPACITY
+        assert body[4 : 4 + detail_len].decode() == "full"

@@ -1,0 +1,196 @@
+"""End-to-end churn tests for dynamic session admission (ISSUE 5).
+
+The acceptance property: a session admitted into a *running*
+``ServerRuntime`` mid-run — over both shm and socket — yields
+``RunStats`` bit-identical to the same blueprint run in-process, with
+joins and departures interleaved.  Also covers admission over a shared
+parent connection (pool of negotiated sessions on one link), the mixed
+blueprint + admitted population, server-assigned session ids, and the
+capacity policy's free-a-slot-and-retry behaviour.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.distill.config import DistillConfig, DistillMode
+from repro.runtime.session import SessionConfig, build_session, run_shadowtutor
+from repro.serving.pool import SessionPool, SessionSpec
+from repro.serving.runtime import (
+    AdmissionError,
+    SessionBlueprint,
+    run_churn_processes,
+    start_server,
+)
+from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+_HW = (32, 48)
+
+
+def _config(mode=DistillMode.PARTIAL, width=0.25, **kw):
+    return SessionConfig(
+        distill=DistillConfig(max_updates=4, threshold=0.7,
+                              min_stride=4, max_stride=16, mode=mode),
+        student_width=width,
+        pretrain_steps=10,
+        **kw,
+    )
+
+
+def _video(key="fixed-people"):
+    return make_category_video(CATEGORY_BY_KEY[key], height=_HW[0], width=_HW[1])
+
+
+def _reference(config, frames, key="fixed-people"):
+    return run_shadowtutor(_video(key), frames, config, label="ref")
+
+
+class TestChurnProcesses:
+    """The acceptance bar: joins and departures interleaved, every
+    admitted session bit-identical to its in-process twin."""
+
+    @pytest.mark.parametrize("transport", ["shm", "socket"])
+    def test_mid_run_admission_bit_identical_with_churn(self, transport):
+        # Two distinct blueprints prove the wire carries real geometry,
+        # not just an id: width 0.25 and 0.3 sessions must each match
+        # their own in-process reference.
+        config_a, config_b = _config(width=0.25), _config(width=0.3)
+        # Client 1 departs (6 frames) while clients 2 and 3 are still
+        # joining/running; the server starts with ZERO blueprints.
+        jobs = [
+            (0.0, config_a, _HW, "fixed-people", 10, "a"),
+            (0.3, config_b, _HW, "fixed-people", 6, "b"),
+            (0.7, config_a, _HW, "fixed-people", 10, "c"),
+            (1.1, config_b, _HW, "fixed-people", 8, "d"),
+        ]
+        handle = start_server(
+            [], transport=transport, n_clients=len(jobs), idle_timeout_s=60
+        )
+        try:
+            stats = run_churn_processes(handle, jobs, timeout_s=180)
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        for (got, (_, config, _, key, frames, _)) in zip(stats, jobs):
+            ref = _reference(config, frames, key)
+            assert got.signature(include_label=False) == ref.signature(
+                include_label=False
+            )
+
+
+class TestAdmissionOverOneConnection:
+    def test_pool_of_admitted_sessions_identical_to_inproc_pool(self):
+        """N sessions negotiated over ONE shared connection (no
+        blueprint table at all) match the in-process pool bitwise."""
+        def specs(attach_of=None):
+            built = []
+            for key, width in [("fixed-people", 0.25), ("moving-animals", 0.3)]:
+                config = _config(width=width)
+                if attach_of is not None:
+                    config = dataclasses.replace(config, attach=attach_of())
+                built.append(
+                    SessionSpec(video=_video(key), num_frames=8, config=config)
+                )
+            return built
+
+        local = SessionPool(specs()).run()
+        handle = start_server([], transport="shm", n_clients=1,
+                              idle_timeout_s=60)
+        try:
+            remote = SessionPool(specs(attach_of=handle.admit_ticket)).run()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        for a, b in zip(local.stats, remote.stats):
+            assert a.signature(include_label=False) == b.signature(
+                include_label=False
+            )
+
+    def test_mixed_blueprint_and_admitted_population(self):
+        """A blueprinted session (HELLO) and an admitted one (ADMIT)
+        coexist on one server; the admitted id never collides with the
+        blueprint table."""
+        blueprinted = _config(width=0.25)
+        admitted = _config(width=0.3, mode=DistillMode.FULL)
+        handle = start_server(
+            [SessionBlueprint(blueprinted, _HW)], transport="shm",
+            n_clients=1, idle_timeout_s=60,
+        )
+        try:
+            via_hello = build_session(
+                dataclasses.replace(blueprinted, attach=handle.ticket(0)), _HW
+            )
+            via_admit = build_session(
+                dataclasses.replace(admitted, attach=handle.admit_ticket()), _HW
+            )
+            assert via_hello.server.session == 0
+            assert via_admit.server.session == 1  # first id past the table
+            try:
+                video = _video()
+                video.reset()
+                hello_stats = via_hello.run(video.frames(6), label="h")
+            finally:
+                via_hello.server.close()
+            try:
+                video = _video("moving-animals")
+                video.reset()
+                admit_stats = via_admit.run(video.frames(6), label="m")
+            finally:
+                via_admit.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        assert hello_stats.signature(include_label=False) == _reference(
+            blueprinted, 6
+        ).signature(include_label=False)
+        assert admit_stats.signature(include_label=False) == run_shadowtutor(
+            _video("moving-animals"), 6, admitted, label="ref"
+        ).signature(include_label=False)
+
+
+class TestCapacityPolicy:
+    def test_slot_frees_on_bye_and_admission_resumes(self):
+        """max_sessions caps *concurrently open* sessions: a REJECTed
+        client can retry successfully after a departure."""
+        handle = start_server([], transport="shm", n_clients=1,
+                              max_sessions=1, idle_timeout_s=60)
+        try:
+            first = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()), _HW
+            )
+            with pytest.raises(AdmissionError, match="capacity") as excinfo:
+                build_session(
+                    dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                    _HW,
+                )
+            assert excinfo.value.reason == "capacity"
+            first.server.close()  # BYE frees the slot
+            retry = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()), _HW
+            )
+            assert retry.server.session == 1  # ids are never reused
+            retry.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+    def test_admission_disabled_server_rejects_admit(self):
+        handle = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, admit=False, idle_timeout_s=60,
+        )
+        try:
+            with pytest.raises(AdmissionError, match="admission-disabled"):
+                build_session(
+                    dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                    _HW,
+                )
+            # The blueprinted path still works; serving it lets the
+            # runtime quiesce.
+            client = build_session(
+                dataclasses.replace(_config(), attach=handle.ticket(0)), _HW
+            )
+            client.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0

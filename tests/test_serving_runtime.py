@@ -189,8 +189,14 @@ class TestHandshakeAndErrors:
             build_session(config, _HW)
 
     def test_runtime_validates_blueprints(self):
+        """Zero blueprints is legal for a pure-admission server (ISSUE
+        5), but a server that can neither serve blueprints nor admit
+        anyone could never do anything — still a hard error."""
         with pytest.raises(ValueError, match="Blueprint"):
-            ServerRuntime([])
+            ServerRuntime([], admit=False)
+        with pytest.raises(ValueError, match="max_sessions"):
+            ServerRuntime([], max_sessions=0)
+        ServerRuntime([])  # pure-admission runtime constructs fine
 
     def test_blueprint_strips_attach(self):
         """A blueprint made from an attached config must not make the

@@ -4,8 +4,14 @@ The satellite contract of ISSUE 4: a registry typo names the available
 transports, malformed wire buffers (truncated, oversized declarations,
 unknown versions/kinds) raise ``WireError`` instead of decoding
 garbage, and a wedged shm ring surfaces ``TimeoutError`` with slot
-diagnostics instead of hanging the process.
+diagnostics instead of hanging the process.  ISSUE 5 adds the
+admission-era paths: a malformed ADMIT blueprint is REJECTed (never
+crashes the server other clients depend on), REJECT reason codes
+round-trip the wire, and a client dialing a capacity-exhausted server
+gets a clean typed error with no wedged ring or leaked shm segment.
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -87,6 +93,170 @@ class TestWireDecodeErrors:
             session, out = wire.decode_tagged(wire.encode(ctl))
             assert out == ctl
             assert session == ctl.session
+
+    def test_v2_frames_still_decode_but_not_v3_kinds(self):
+        """The v2 header layout is unchanged, so v2 frames decode; a v2
+        frame claiming a v3-only kind is structurally impossible."""
+        legacy = bytearray(wire.encode(wire.Bye(9)))
+        legacy[2] = 2
+        assert wire.decode(legacy) == wire.Bye(9)
+        bad = bytearray(wire.encode(_admit()))
+        bad[2] = 2
+        with pytest.raises(wire.WireError, match="version 3"):
+            wire.decode(bad)
+
+
+def _admit(**overrides):
+    fields = dict(
+        student_width=0.25, student_seed=0, pretrain_steps=10,
+        frame_h=32, frame_w=48, mode="partial", threshold=0.7,
+        max_updates=4, min_stride=4, max_stride=16, lr=0.01,
+        reset_optimizer_state=True, teacher_boundary_noise=0.0,
+    )
+    fields.update(overrides)
+    return wire.Admit(**fields)
+
+
+class TestAdmissionErrors:
+    """ISSUE 5 satellite: the admission-era error paths."""
+
+    def test_admit_blueprint_roundtrips(self):
+        for admit in (_admit(), _admit(mode="full", student_seed=7,
+                                       reset_optimizer_state=False)):
+            session, out = wire.decode_tagged(wire.encode(admit))
+            assert out == admit
+            assert session == 0
+
+    def test_malformed_admit_missing_field_is_loud(self):
+        state = _admit().to_state()
+        del state["student_width"]
+        with pytest.raises(wire.WireError, match="malformed ADMIT"):
+            wire.Admit.from_state(state)
+
+    def test_malformed_admit_unknown_field_is_loud(self):
+        state = _admit().to_state()
+        state["surprise"] = np.int64(1)
+        with pytest.raises(wire.WireError, match="malformed ADMIT"):
+            wire.Admit.from_state(state)
+
+    def test_malformed_admit_bad_mode_code_is_loud(self):
+        state = _admit().to_state()
+        state["mode"] = np.uint8(200)
+        with pytest.raises(wire.WireError, match="mode code"):
+            wire.Admit.from_state(state)
+
+    def test_truncated_admit_body(self):
+        encoded = wire.encode(_admit())
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode(encoded[: len(encoded) - 5])
+
+    def test_reject_reason_roundtrip(self):
+        for code, name in wire.REJECT_REASONS.items():
+            reject = wire.Reject(3, code, f"details about {name}")
+            session, out = wire.decode_tagged(wire.encode(reject))
+            assert out == reject
+            assert session == 3
+            assert out.reason == name
+        unknown = wire.decode(wire.encode(wire.Reject(0, 999)))
+        assert unknown.reason == "code-999"
+
+    def test_reject_detail_too_long_for_u16(self):
+        with pytest.raises(wire.WireError, match="detail"):
+            wire.encode(wire.Reject(0, wire.REJECT_CAPACITY, "x" * 70000))
+
+    def test_semantically_bad_blueprint_is_rejected_not_fatal(self):
+        """A structurally valid ADMIT whose values are nonsense must
+        REJECT with malformed-blueprint — the server keeps serving."""
+        from repro.runtime.session import SessionConfig, build_session
+        from repro.serving.runtime import AdmissionError, start_server
+
+        handle = start_server([], transport="shm", n_clients=1,
+                              idle_timeout_s=60)
+        try:
+            connection = handle.parent_connection()
+            with pytest.raises(AdmissionError, match="malformed-blueprint"):
+                connection.admit_session(_admit(student_width=-1.0))
+            with pytest.raises(AdmissionError, match="malformed-blueprint"):
+                connection.admit_session(_admit(min_stride=32, max_stride=4))
+            with pytest.raises(AdmissionError, match="malformed-blueprint"):
+                connection.admit_session(_admit(student_seed=-1))
+            with pytest.raises(AdmissionError, match="malformed-blueprint"):
+                # Passes the per-field checks (1x1 >= 1) but breaks
+                # server-side model construction (spatial dims must
+                # divide by 4): construction failures REJECT too.
+                connection.admit_session(_admit(frame_h=1, frame_w=1))
+            # The server survived both: a good admission still works.
+            config = dataclasses.replace(
+                SessionConfig(student_width=0.25, pretrain_steps=5),
+                attach=handle.admit_ticket(),
+            )
+            client = build_session(config, (32, 48))
+            client.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+    def test_capacity_exhausted_dial_is_clean(self):
+        """A standalone client process dialing a full server gets a
+        typed capacity error; nothing wedges and the parent unlinks
+        every shm segment it created."""
+        import multiprocessing as mp
+        import pathlib
+
+        from repro.runtime.session import SessionConfig, build_session
+        from repro.serving.runtime import start_server
+
+        def _dial_full_server(address, result_conn):
+            from repro.serving.runtime import AdmissionError
+
+            config = dataclasses.replace(
+                SessionConfig(student_width=0.25, pretrain_steps=5),
+                attach=address,
+            )
+            try:
+                build_session(config, (32, 48))
+                result_conn.send("admitted")
+            except AdmissionError as exc:
+                result_conn.send(exc.reason)
+            finally:
+                result_conn.close()
+
+        def shm_segments():
+            # Only multiprocessing.shared_memory segments (psm_ prefix):
+            # unrelated processes creating other /dev/shm entries while
+            # this test runs must not fail it.
+            shm_dir = pathlib.Path("/dev/shm")
+            if not shm_dir.is_dir():
+                return None
+            return {p for p in shm_dir.iterdir() if p.name.startswith("psm_")}
+
+        before = shm_segments()
+        handle = start_server([], transport="shm", n_clients=2,
+                              max_sessions=1, idle_timeout_s=60)
+        try:
+            config = dataclasses.replace(
+                SessionConfig(student_width=0.25, pretrain_steps=5),
+                attach=handle.admit_ticket(),
+            )
+            occupant = build_session(config, (32, 48))
+            parent_conn, child_conn = mp.Pipe(duplex=False)
+            proc = mp.Process(
+                target=_dial_full_server,
+                args=(handle.admit_address(1), child_conn), daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            assert parent_conn.poll(60), "dialing client never reported"
+            assert parent_conn.recv() == "capacity"
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+            occupant.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        if before is not None:
+            leaked = shm_segments() - before
+            assert not leaked, f"leaked shm segments: {leaked}"
 
 
 class TestShmTimeouts:
