@@ -1,0 +1,84 @@
+"""Benchmark: overload control under seeded storms (ISSUE 6 floors).
+
+The acceptance floors for the graduated overload-control layer, run on
+the two adversarial storms whose load the server is expected to *shed*
+(``thundering-herd``: an admission flood against a token bucket;
+``slow-loris``: partial-frame stallers plus a never-BYE ghost):
+
+* the server never wedges — the storm drains, the process exits 0, no
+  honest probe hangs;
+* every refusal surfaces as a typed REJECT (``overloaded`` /
+  ``capacity``) carrying a ``retry_after`` hint;
+* a fixed probe workload sustains >= 0.5x of its idle throughput while
+  the storm is in progress (graduated degradation, receive budgets and
+  the reaper keep the loop serving);
+* after the storm drains, the same probes recover to >= 0.9x idle.
+
+Regenerate manually with::
+
+    PYTHONPATH=src python scripts/bench_perf.py --storm thundering-herd
+    PYTHONPATH=src python scripts/bench_perf.py --storm slow-loris
+"""
+
+import pytest
+
+from repro.experiments.perf import (
+    append_record,
+    format_storm_record,
+    measure_storm,
+)
+
+pytestmark = [pytest.mark.perf, pytest.mark.storm]
+
+
+def _assert_floors(record):
+    # No wedge: the overload-armed server drained the storm and exited
+    # cleanly, and every honest job resolved (ok or typed rejection).
+    assert not record["wedged"]
+    assert record["server_exit"] == 0
+    assert record["storm_outcomes"]["errors"] == 0
+    # Refusals are typed and hinted, never silence: whatever was
+    # rejected carried a reason the client can branch on and a
+    # retry_after it can sleep on.
+    out = record["storm_outcomes"]
+    assert set(out["reject_reasons"]) <= {"overloaded", "capacity"}
+    assert out["hinted"] == out["rejected"]
+    # All probe waves were admitted and served to completion.
+    for phase in ("idle", "storm", "recovery"):
+        assert record[phase]["ok"] == record[phase]["of"], phase
+    # The throughput floors (ISSUE 6 acceptance): probes keep >= 0.5x
+    # idle throughput under the storm and recover to >= 0.9x after it
+    # drains.  Measured ~0.6-0.75x under storm and ~0.92-1.0x recovered
+    # on a single quiet core.
+    assert record["storm_over_idle"] >= 0.5
+    assert record["recovery_over_idle"] >= 0.9
+
+
+@pytest.mark.benchmark(group="perf_overload")
+def test_thundering_herd_floors(results_sink):
+    record = measure_storm("thundering-herd", seed=0, baseline=False)
+    text = format_storm_record(record)
+    print(text)
+    results_sink(text)
+    _assert_floors(record)
+    # The herd outnumbers the bucket's burst: some of it must actually
+    # have been shed, or the storm never stressed admission at all.
+    assert record["storm_outcomes"]["rejected"] >= 1
+    # Append only after the floors hold, so a failing run cannot
+    # pollute the committed perf trajectory.
+    append_record(record)
+
+
+@pytest.mark.benchmark(group="perf_overload")
+def test_slow_loris_floors(results_sink):
+    record = measure_storm("slow-loris", seed=0, baseline=False)
+    text = format_storm_record(record)
+    print(text)
+    results_sink(text)
+    _assert_floors(record)
+    # Every honest storm client completed despite the stallers: the
+    # loris links were torn down on the receive budget, not waited out.
+    proto = record["protocol"]
+    honest = proto["storm_clients"] - proto["attackers"]
+    assert record["storm_outcomes"]["ok"] == honest
+    append_record(record)

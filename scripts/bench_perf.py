@@ -49,11 +49,13 @@ from repro.experiments.perf import (  # noqa: E402
     format_pool_record,
     format_record,
     format_serve_many_record,
+    format_storm_record,
     format_transport_record,
     measure_engine_speedup,
     measure_pool_throughput,
     measure_serve_many_churn,
     measure_serve_many_throughput,
+    measure_storm,
     measure_transport_throughput,
     migrate_records,
 )
@@ -85,6 +87,19 @@ def main() -> int:
                         help="with --serve-many: start the server with no "
                              "blueprints and have every client negotiate "
                              "its session over the wire (dynamic admission)")
+    parser.add_argument("--storm", default=None, metavar="NAME",
+                        choices=("churn-storm", "thundering-herd",
+                                 "slow-loris", "scene-cut-burst"),
+                        help="benchmark overload control under the named "
+                             "seeded storm: probe throughput idle / under "
+                             "storm / after recovery on one overload-armed "
+                             "server, plus a no-control baseline")
+    parser.add_argument("--storm-seed", type=int, default=0,
+                        help="seed for --storm (default: 0)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="with --storm: skip the no-control baseline "
+                             "run (faster; the adversarial baselines wait "
+                             "out a deliberate wedge)")
     parser.add_argument("--pr", default=None,
                         help="PR tag stamped on the record "
                              "(default: inferred from CHANGES.md)")
@@ -105,6 +120,14 @@ def main() -> int:
     if args.transport:
         record = measure_transport_throughput(pr=args.pr)
         summary = format_transport_record(record)
+    elif args.storm is not None:
+        record = measure_storm(
+            name=args.storm,
+            seed=args.storm_seed,
+            baseline=not args.no_baseline,
+            pr=args.pr,
+        )
+        summary = format_storm_record(record)
     elif args.serve_many is not None:
         measure = (
             measure_serve_many_churn if args.churn

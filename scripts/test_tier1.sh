@@ -16,6 +16,11 @@ timeout 300 python scripts/smoke_transport.py
 # processes (shm and socket) must match the in-process runs bit for
 # bit.  Hard timeout: a wedged event loop fails the gate, not hangs it.
 timeout 300 python scripts/smoke_serve_many.py
+# Overload smoke (ISSUE 6): an overload-armed server must survive the
+# slow-loris and thundering-herd storms — honest traffic served or
+# typed-rejected with retry hints, attackers torn down, no shm leak.
+# Hard timeout: a wedged server fails the gate, not hangs it.
+timeout 300 python scripts/smoke_storm.py
 # Docs smoke (ISSUE 5): the protocol spec cannot drift from wire.py
 # (the doc-sync test also runs inside the suite above; this re-run
 # keeps the gate explicit and costs under a second), and every fenced

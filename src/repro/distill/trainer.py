@@ -228,9 +228,22 @@ class StudentTrainer:
         return _AutogradStepRunner(student, frame, Tensor(x4), target, weight_map)
 
     # ------------------------------------------------------------------
-    def train(self, frame: np.ndarray, label: np.ndarray) -> TrainResult:
-        """Distil the teacher's pseudo-label into the student (Alg. 1)."""
+    def train(
+        self, frame: np.ndarray, label: np.ndarray,
+        max_updates: Optional[int] = None,
+    ) -> TrainResult:
+        """Distil the teacher's pseudo-label into the student (Alg. 1).
+
+        ``max_updates`` caps the step loop below ``config.max_updates``
+        for this one call — the overload layer's *cheaper serve*.  The
+        default of ``None`` runs the configured budget, which is the
+        bit-identity path every existing harness pins.
+        """
         cfg = self.config
+        budget = (
+            cfg.max_updates if max_updates is None
+            else max(1, min(max_updates, cfg.max_updates))
+        )
         student = self.student
         if cfg.reset_optimizer_state:
             self._optimizer.reset_state()
@@ -250,7 +263,7 @@ class StudentTrainer:
         if best_metric < cfg.threshold:
             runner = self._make_step_runner(frame, x4, target, weight_map)
             student.train()
-            for _ in range(cfg.max_updates):
+            for _ in range(budget):
                 self._optimizer.zero_grad()
                 losses.append(runner.step())
                 self._optimizer.step()

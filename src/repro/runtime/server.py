@@ -75,20 +75,31 @@ class Server:
 
     # ------------------------------------------------------------------
     def handle_key_frame(
-        self, frame: np.ndarray, label: Optional[np.ndarray] = None
+        self, frame: np.ndarray, label: Optional[np.ndarray] = None,
+        max_updates: Optional[int] = None,
     ) -> Tuple[ServerReply, TrainResult]:
         """Process one key frame: teacher inference + student training.
 
         ``label`` is the renderer ground truth forwarded to oracle
-        teachers; neural teachers ignore it.
+        teachers; neural teachers ignore it.  ``max_updates`` caps this
+        serve's distillation steps (the overload layer's degraded
+        serve); capped serves bypass the work cache — its digest chain
+        assumes every serve ran the configured budget.
         """
         pseudo_label = self.teacher.infer(frame, label)
-        if self.work_cache is not None:
+        if self.work_cache is not None and max_updates is None:
             return self.work_cache.distill(self, frame, pseudo_label)
-        return self.distill(frame, pseudo_label)
+        out = self.distill(frame, pseudo_label, max_updates=max_updates)
+        if max_updates is not None and hasattr(self, "_shared_work_version"):
+            # The capped serve mutated the student outside the shared
+            # cache's digest chain; drop the chain so the next cached
+            # serve re-derives it from the actual weights.
+            del self._shared_work_version
+        return out
 
     def distill(
-        self, frame: np.ndarray, pseudo_label: np.ndarray
+        self, frame: np.ndarray, pseudo_label: np.ndarray,
+        max_updates: Optional[int] = None,
     ) -> Tuple[ServerReply, TrainResult]:
         """Run Algorithm 1 on ``frame`` and package the reply.
 
@@ -97,7 +108,7 @@ class Server:
         inside the trainer drops weight-static engine plans, so the
         server-side student's compiled predicts never go stale.
         """
-        result = self.trainer.train(frame, pseudo_label)
+        result = self.trainer.train(frame, pseudo_label, max_updates=max_updates)
         partial_payload = (
             self.trainer.trainable_fraction < 1.0
             if self._custom_freeze

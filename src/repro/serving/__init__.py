@@ -40,9 +40,25 @@ fixed at spawn: a client can dial a running server and negotiate a
 brand-new session over the wire (ADMIT/REJECT, wire v3 — see
 ``docs/PROTOCOL.md``), bounded by a capacity policy and drained by a
 churn-tolerant exit rule.
+
+:mod:`repro.serving.overload` hardens that front door for untrusted
+traffic: a deterministic token-bucket admission limiter over the
+runtime's tick clock (wire-v4 REJECTs carry typed ``retry_after``
+hints), a per-sweep load tracker whose graduated levels cap
+distillation budgets and stretch client strides under pressure, a
+per-connection receive budget against slow-loris peers, and an
+idle-session reaper — all off by default, bit-identical when disabled.
+:mod:`repro.serving.storms` is the seeded adversarial harness that
+proves it: named storm scenarios, each a pure function of a seed.
 """
 
 from repro.serving.batched import BatchedPredictor
+from repro.serving.overload import (
+    LoadTracker,
+    OverloadConfig,
+    OverloadController,
+    TokenBucket,
+)
 from repro.serving.pool import PoolResult, SessionPool, SessionSpec
 from repro.serving.runtime import (
     AdmissionError,
@@ -58,11 +74,16 @@ from repro.serving.runtime import (
 )
 from repro.serving.scheduler import TickScheduler
 from repro.serving.shared import SharedDistillation
+from repro.serving.storms import STORM_NAMES, StormPlan, StormReport, run_storm, storm_plan
 
 __all__ = [
     "AdmissionError",
     "BatchedPredictor",
+    "LoadTracker",
+    "OverloadConfig",
+    "OverloadController",
     "PoolResult",
+    "STORM_NAMES",
     "ServerHandle",
     "ServerRuntime",
     "SessionAddress",
@@ -71,9 +92,13 @@ __all__ = [
     "SessionSpec",
     "SessionTicket",
     "SharedDistillation",
+    "StormPlan",
+    "StormReport",
     "TickScheduler",
+    "TokenBucket",
     "admit_message",
     "run_client_processes",
     "run_churn_processes",
+    "run_storm",
     "start_server",
 ]

@@ -198,17 +198,33 @@ class AdmissionError(RuntimeError):
 
     Carries the wire-level :class:`~repro.transport.wire.Reject` so
     callers can branch on :attr:`code` (e.g. retry elsewhere on
-    ``capacity``, give up on ``malformed-blueprint``).
+    ``capacity``, give up on ``malformed-blueprint``).  Load-induced
+    refusals (``capacity``, ``overloaded``) are :attr:`retryable` and
+    may carry a server-side :attr:`retry_after` hint in ticks — the
+    attach path's bounded retry loop honours both.
     """
 
     def __init__(self, reject: wire.Reject, context: str = "admission") -> None:
         detail = f": {reject.detail}" if reject.detail else ""
+        after = (
+            f", retry after {reject.retry_after} ticks"
+            if reject.retry_after is not None else ""
+        )
         super().__init__(
-            f"server refused {context} ({reject.reason}{detail})"
+            f"server refused {context} ({reject.reason}{detail}{after})"
         )
         self.reject = reject
         self.code = reject.code
         self.reason = reject.reason
+        self.retry_after = reject.retry_after
+
+    @property
+    def retryable(self) -> bool:
+        """True when the refusal is about the server's *current* load
+        (capacity/overloaded) — conditions a later retry can outlive.
+        Structural refusals (malformed blueprint, admission disabled,
+        unknown session) can never succeed by waiting."""
+        return self.code in (wire.REJECT_CAPACITY, wire.REJECT_OVERLOADED)
 
 
 class _LiveSession:
@@ -218,6 +234,9 @@ class _LiveSession:
         self.server = server
         self.connection = connection
         self.frames_served = 0
+        #: Wall-clock time of the last message for this session — what
+        #: the idle-session reaper compares against its deadline.
+        self.last_active = time.monotonic()
 
 
 class ServerRuntime:
@@ -249,6 +268,13 @@ class ServerRuntime:
         Accept ADMIT frames (dynamic session admission).  With it off,
         an ADMIT is REJECTed with the ``admission-disabled`` reason and
         the runtime serves only its blueprint table, as in PR 4.
+    overload:
+        An :class:`~repro.serving.overload.OverloadConfig` enabling the
+        graduated overload-control layer (token-bucket admission with
+        ``retry_after`` hints, load-adaptive strides, per-connection
+        receive budgets, idle-session reaping).  ``None`` — the default
+        — is byte-for-byte the pre-v4 server: no tracker, no budget, no
+        reaper, bit-identical RunStats.
     """
 
     def __init__(
@@ -258,6 +284,7 @@ class ServerRuntime:
         idle_timeout_s: float = 120.0,
         max_sessions: Optional[int] = None,
         admit: bool = True,
+        overload=None,
     ) -> None:
         if not blueprints and not admit:
             raise ValueError(
@@ -293,6 +320,18 @@ class ServerRuntime:
         self._next_dynamic = len(self.blueprints)
         #: (served key frames per session id) — populated by :meth:`run`.
         self.frames_served: Dict[int, int] = {}
+        from repro.serving.overload import OverloadController
+
+        self._overload = (
+            OverloadController(overload) if overload is not None else None
+        )
+        #: Typed teardown records: session id → reason for sessions the
+        #: runtime ended unilaterally ("idle-reaped", "recv-budget",
+        #: "connection-error"); clean BYEs never appear here.
+        self.teardowns: Dict[int, str] = {}
+        #: Connection index → teardown reason for links the runtime
+        #: closed unilaterally.
+        self.connection_teardowns: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def _teacher_for(self, config):
@@ -313,6 +352,16 @@ class ServerRuntime:
             self.max_sessions is not None
             and len(self._sessions) >= self.max_sessions
         )
+
+    #: ``retry_after`` stamped on capacity REJECTs when no overload
+    #: controller is configured: the bucket-free server still gives
+    #: refused clients a typed hint instead of silence.
+    _DEFAULT_CAPACITY_HINT = 64
+
+    def _capacity_hint(self) -> int:
+        if self._overload is not None:
+            return self._overload.capacity_hint()
+        return self._DEFAULT_CAPACITY_HINT
 
     def _start_session(self, session_id: int, connection,
                        blueprint: SessionBlueprint) -> None:
@@ -354,6 +403,7 @@ class ServerRuntime:
             connection.send_tagged(session_id, wire.Reject(
                 session_id, wire.REJECT_CAPACITY,
                 f"{len(self._sessions)}/{self.max_sessions} sessions open",
+                retry_after=self._capacity_hint(),
             ))
             return
         self._start_session(session_id, connection, self.blueprints[session_id])
@@ -372,10 +422,20 @@ class ServerRuntime:
                 "this server only serves its spawn-time blueprints",
             ))
             return
+        if self._overload is not None:
+            hint = self._overload.admit()
+            if hint is not None:
+                connection.send_tagged(0, wire.Reject(
+                    0, wire.REJECT_OVERLOADED,
+                    "admission token bucket is empty",
+                    retry_after=hint,
+                ))
+                return
         if self._at_capacity():
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_CAPACITY,
                 f"{len(self._sessions)}/{self.max_sessions} sessions open",
+                retry_after=self._capacity_hint(),
             ))
             return
         try:
@@ -427,13 +487,97 @@ class ServerRuntime:
                     f"key frame for session {session_id}, which is not open"
                 )
             frame, label = msg
-            reply, _ = live.server.handle_key_frame(frame, label)
+            live.last_active = time.monotonic()
+            ctl = self._overload
+            budget = (
+                None if ctl is None
+                else ctl.degraded_budget(live.server.config.max_updates)
+            )
+            if budget is None:
+                # The pristine path — bit-identical to an in-process
+                # run, taken always when overload control is off and
+                # whenever the load level is 0 with it on.
+                reply, _ = live.server.handle_key_frame(frame, label)
+            else:
+                # Degraded serve: fewer distillation steps, and the
+                # reported metric floored so the client's Algorithm-2
+                # stride policy stretches its stride — load shed at the
+                # source, recovering when the tracker's level drops.
+                reply, _ = live.server.handle_key_frame(
+                    frame, label, max_updates=budget
+                )
+                reply = dataclasses.replace(
+                    reply,
+                    metric=ctl.degraded_metric(
+                        reply.metric, live.server.config.threshold
+                    ),
+                )
             connection.send_tagged(session_id, reply)
             live.frames_served += 1
         else:
             raise RuntimeError(
                 f"multiplexed server cannot handle {type(msg).__name__}"
             )
+        if self._overload is not None:
+            self._overload.served()
+
+    # ------------------------------------------------------------------
+    def _teardown_connection(self, index: int, connection, closed: set,
+                             reason: str) -> None:
+        """Typed unilateral teardown of one connection.
+
+        Ends every session the link carried (recording ``reason`` per
+        session), marks the connection closed for the drain rule, and
+        releases the endpoint *now* — per-client rings are dropped the
+        moment their client is known dead or hostile, not held mapped
+        until process exit.  Nothing is sent: the peer is unreachable
+        (dead) or misbehaving (slow-loris), and a farewell write could
+        block on its unserviced ring.
+        """
+        for sid, live in list(self._sessions.items()):
+            if live.connection is connection:
+                self._end_session(sid)
+                self.teardowns[sid] = reason
+        closed.add(index)
+        self.connection_teardowns[index] = reason
+        close = getattr(connection, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:
+                pass  # releasing a broken endpoint must not kill the loop
+
+    def _reap_idle(self, connections: List[Any], closed: set,
+                   conn_active: Dict[int, float], now: float) -> bool:
+        """The idle-session reaper: typed teardown for never-BYEing
+        peers.  A session silent past the deadline ends with reason
+        ``idle-reaped``; a connection with no remaining sessions that
+        has also gone silent is closed the same way, so a client that
+        died without its sentinel (kill -9 mid-run) cannot block the
+        drain rule forever.  Returns True when anything was reaped.
+        """
+        deadline_s = self._overload.config.reap_idle_s
+        reaped = False
+        for sid, live in list(self._sessions.items()):
+            if now - live.last_active > deadline_s:
+                self._end_session(sid)
+                self.teardowns[sid] = "idle-reaped"
+                reaped = True
+        for index, connection in enumerate(connections):
+            if index in closed or index not in conn_active:
+                # Never-active connections are *not* reaped: a static
+                # (shm) listener pre-creates every slot, so an inactive
+                # one is indistinguishable from a client that has not
+                # dialed yet — the idle timeout remains their backstop.
+                continue
+            if any(l.connection is connection
+                   for l in self._sessions.values()):
+                continue  # live sessions keep their link up
+            if now - conn_active[index] > deadline_s:
+                self._teardown_connection(index, connection, closed,
+                                          "idle-reaped")
+                reaped = True
+        return reaped
 
     # ------------------------------------------------------------------
     def _quiesced(self, connections: List[Any], closed: set,
@@ -478,10 +622,24 @@ class ServerRuntime:
         idle_deadline = time.monotonic() + self.idle_timeout_s
         sweeps = 0
         nap = _NAP_S
+        ctl = self._overload
+        recv_budget_s = None if ctl is None else ctl.config.recv_budget_s
+        reap_idle_s = None if ctl is None else ctl.config.reap_idle_s
+        #: Connection index → last wall-clock activity (reaper input).
+        conn_active: Dict[int, float] = {}
+        next_reap = (
+            time.monotonic() + reap_idle_s if reap_idle_s is not None else None
+        )
         while not self._quiesced(connections, closed, expected):
             progressed = False
+            served_this_sweep = 0
             accepted = listener.poll_accept()
             if accepted is not None:
+                if recv_budget_s is not None and hasattr(accepted, "timeout_s"):
+                    # The fairness budget: one misbehaving peer may
+                    # stall the sweep for at most this long, transport
+                    # blocking included.
+                    accepted.timeout_s = recv_budget_s
                 connections.append(accepted)
                 progressed = True
             for index, connection in enumerate(connections):
@@ -494,19 +652,57 @@ class ServerRuntime:
                     # frames (WireError) propagate instead — the server
                     # must die loudly on corruption, not report the
                     # link's sessions as cleanly completed.
-                    msg = None
-                    session_id = 0
+                    self._teardown_connection(index, connection, closed,
+                                              "connection-error")
+                    progressed = True
+                    continue
+                except TimeoutError:
+                    if recv_budget_s is None:
+                        raise  # legacy behaviour: transport timeout is fatal
+                    # Slow-loris: poll() saw bytes but a whole frame
+                    # never arrived inside the budget.  The link is
+                    # unframeable from here on — typed teardown.
+                    self._teardown_connection(index, connection, closed,
+                                              "recv-budget")
+                    progressed = True
+                    continue
                 if msg is None:
                     # Connection sentinel: every session still open on
-                    # this link ends with it.
+                    # this link ends with it, and the endpoint is
+                    # released immediately (an abnormal death that
+                    # still managed EOF lands here too — rings must
+                    # not stay mapped until process exit).
                     for sid, live in list(self._sessions.items()):
                         if live.connection is connection:
                             self._end_session(sid)
                     closed.add(index)
+                    close = getattr(connection, "close", None)
+                    if close is not None:
+                        try:
+                            close()
+                        except Exception:
+                            pass
                     progressed = True
                     continue
-                self._handle(connection, session_id, msg)
+                conn_active[index] = time.monotonic()
+                try:
+                    self._handle(connection, session_id, msg)
+                except TimeoutError:
+                    if recv_budget_s is None:
+                        raise
+                    # The reply write blocked past the budget: the peer
+                    # stopped draining its ring — same teardown.
+                    self._teardown_connection(index, connection, closed,
+                                              "send-budget")
+                served_this_sweep += 1
                 progressed = True
+            if ctl is not None:
+                ctl.observe_sweep(served_this_sweep)
+            if next_reap is not None and time.monotonic() >= next_reap:
+                if self._reap_idle(connections, closed, conn_active,
+                                   time.monotonic()):
+                    progressed = True
+                next_reap = time.monotonic() + reap_idle_s / 4
             if progressed:
                 idle_deadline = time.monotonic() + self.idle_timeout_s
                 sweeps = 0
@@ -531,11 +727,11 @@ class ServerRuntime:
 
 
 def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
-                   max_sessions, admit) -> None:
+                   max_sessions, admit, overload=None) -> None:
     """Server-process entry point for :func:`start_server`."""
     ServerRuntime(
         blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
-        max_sessions=max_sessions, admit=admit,
+        max_sessions=max_sessions, admit=admit, overload=overload,
     ).run(listener)
 
 
@@ -757,11 +953,20 @@ class SessionAddress:
     running server in an ADMIT frame and serves whatever session id the
     server assigns — how a client that was never blueprinted joins
     mid-run.
+
+    ``admit_retries`` bounds a seeded retry loop around the ADMIT
+    handshake: a *retryable* refusal (capacity/overloaded) is retried
+    up to that many times, sleeping the server's ``retry_after`` hint
+    (scaled to seconds, jittered by ``retry_seed``) between attempts —
+    no hot spinning, no unbounded waits.  Structural refusals raise
+    immediately regardless.
     """
 
     transport: str
     info: Any
     session: Optional[int] = None
+    admit_retries: int = 0
+    retry_seed: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -771,10 +976,13 @@ class SessionTicket:
     :class:`~repro.serving.pool.SessionPool` runs all its sessions over
     one link to one server process.  ``session=None`` negotiates a new
     session over that shared connection (ADMIT) instead of opening a
-    blueprinted one (HELLO)."""
+    blueprinted one (HELLO).  ``admit_retries``/``retry_seed`` bound
+    the same seeded retry loop :class:`SessionAddress` documents."""
 
     handle: "ServerHandle"
     session: Optional[int] = None
+    admit_retries: int = 0
+    retry_seed: int = 0
 
 
 class ServerHandle:
@@ -795,10 +1003,11 @@ class ServerHandle:
         self._check_session(session)
         return SessionTicket(self, session)
 
-    def admit_ticket(self) -> SessionTicket:
+    def admit_ticket(self, admit_retries: int = 0,
+                     retry_seed: int = 0) -> SessionTicket:
         """Attachment point that *negotiates* a brand-new session over
         this handle's shared parent connection (ADMIT handshake)."""
-        return SessionTicket(self, None)
+        return SessionTicket(self, None, admit_retries, retry_seed)
 
     def address(self, session: int, slot: Optional[int] = None) -> SessionAddress:
         """Picklable attachment point for a standalone client process.
@@ -810,13 +1019,19 @@ class ServerHandle:
         info = self.link.address(session if slot is None else slot)
         return SessionAddress(self.transport, info, session)
 
-    def admit_address(self, slot: int) -> SessionAddress:
+    def admit_address(self, slot: int, admit_retries: int = 0,
+                      retry_seed: Optional[int] = None) -> SessionAddress:
         """Picklable attachment point for a standalone client process
         that was *not* blueprinted: the client dials connection
         ``slot`` and negotiates its session over the wire (ADMIT), so
-        it can join a server that is already mid-run."""
+        it can join a server that is already mid-run.  ``admit_retries``
+        opts the client into the bounded retry loop on retryable
+        refusals; the jitter seed defaults to the slot, so every
+        client in a herd backs off on its own deterministic schedule.
+        """
         info = self.link.address(slot)
-        return SessionAddress(self.transport, info, None)
+        seed = slot if retry_seed is None else retry_seed
+        return SessionAddress(self.transport, info, None, admit_retries, seed)
 
     def parent_connection(self) -> MuxConnection:
         """The single in-process connection every ticket shares (claims
@@ -871,6 +1086,7 @@ def start_server(
     idle_timeout_s: float = 120.0,
     max_sessions: Optional[int] = None,
     admit: bool = True,
+    overload=None,
     **options,
 ) -> ServerHandle:
     """Spawn one multiplexing server process.
@@ -896,6 +1112,7 @@ def start_server(
         idle_timeout_s=idle_timeout_s,
         max_sessions=max_sessions,
         admit=admit,
+        overload=overload,
     )
     link, process = registry.serve_many(transport, target, n_clients, **options)
     return ServerHandle(transport, link, process, len(blueprints))
@@ -904,6 +1121,41 @@ def start_server(
 # ----------------------------------------------------------------------
 # build_session attachment (called from repro.runtime.session)
 # ----------------------------------------------------------------------
+#: Seconds per server tick assumed by the retry loop when converting a
+#: REJECT's ``retry_after`` hint into a sleep (a tick is one served
+#: message — a few milliseconds of distillation at bench scale).
+_RETRY_TICK_S = 0.005
+#: Ceiling on any single retry sleep.
+_RETRY_SLEEP_MAX_S = 1.0
+
+
+def _admit_with_retry(connection, config, frame_hw, attach):
+    """ADMIT with the bounded, seeded retry loop of the attach points.
+
+    Each retryable refusal (``AdmissionError.retryable``) sleeps the
+    server's ``retry_after`` hint converted to seconds, jittered by a
+    client-local seeded RNG (so a herd of refused clients de-bunches
+    deterministically), then re-ADMITs — at most ``admit_retries``
+    times, never spinning.  Structural refusals and exhausted budgets
+    raise the last :class:`AdmissionError` unchanged.
+    """
+    import random
+
+    retries = getattr(attach, "admit_retries", 0)
+    rng = random.Random(getattr(attach, "retry_seed", 0))
+    attempt = 0
+    while True:
+        try:
+            return connection.admit_session(admit_message(config, frame_hw))
+        except AdmissionError as exc:
+            if attempt >= retries or not exc.retryable:
+                raise
+            attempt += 1
+            hint = exc.retry_after if exc.retry_after is not None else 1
+            sleep_s = min(hint * _RETRY_TICK_S, _RETRY_SLEEP_MAX_S)
+            time.sleep(sleep_s * (0.5 + rng.random()))
+
+
 def attach_session(config, frame_hw, stride_policy):
     """Build a :class:`~repro.runtime.client.Client` attached to a
     running multiplexed server (the ``config.attach`` path of
@@ -936,8 +1188,8 @@ def attach_session(config, frame_hw, stride_policy):
         )
     try:
         if session is None:
-            session, initial_state = connection.admit_session(
-                admit_message(config, frame_hw)
+            session, initial_state = _admit_with_retry(
+                connection, config, frame_hw, attach
             )
         else:
             initial_state = connection.open_session(session)
@@ -976,6 +1228,8 @@ def _client_process_main(address, config, frame_hw, video_key, num_frames,
     from repro.runtime.session import build_session
     from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
 
+    from repro.serving.runtime import AdmissionError
+
     try:
         if delay_s > 0.0:
             # Churn: this client joins a server that is already serving
@@ -992,6 +1246,11 @@ def _client_process_main(address, config, frame_hw, video_key, num_frames,
         finally:
             client.server.close()
         result_conn.send(("ok", stats))
+    except AdmissionError as exc:
+        # A typed refusal is a *clean* outcome (the storm harness
+        # counts these); drivers that expected admission raise on it
+        # parent-side instead of from a crashed child.
+        result_conn.send(("rejected", (exc.reason, exc.retry_after)))
     except BaseException as exc:  # surfaced in the parent, not swallowed
         try:
             result_conn.send(("error", repr(exc)))
@@ -1013,7 +1272,9 @@ def run_client_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
     return _run_processes(handle, jobs, timeout_s, admit=False)
 
 
-def run_churn_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
+def run_churn_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0,
+                        admit_retries: int = 0, outcomes: bool = False,
+                        slot_offset: int = 0):
     """Run staggered, dynamically-admitted client processes.
 
     ``jobs`` is a list of ``(delay_s, config, frame_hw, video_key,
@@ -1022,18 +1283,34 @@ def run_churn_processes(handle: ServerHandle, jobs, timeout_s: float = 300.0):
     and negotiates its session over the wire (ADMIT — no blueprint
     existed at spawn).  Different delays and frame counts interleave
     joins and departures; returns the per-job ``RunStats`` list.
+
+    ``admit_retries`` arms every client's bounded seeded retry loop
+    (jitter seed = its slot).  ``outcomes=True`` is the storm harness's
+    accounting mode: instead of raising on a typed refusal, each job
+    yields ``("ok", stats)`` or ``("rejected", (reason, retry_after))``
+    — refusals are data, only real failures raise.  ``slot_offset``
+    shifts which connection slots the jobs dial, so several waves of
+    clients (the storm bench's idle/storm/recovery phases) can share
+    one server without claiming the same slot twice.
     """
-    return _run_processes(handle, jobs, timeout_s, admit=True)
+    return _run_processes(handle, jobs, timeout_s, admit=True,
+                          admit_retries=admit_retries, outcomes=outcomes,
+                          slot_offset=slot_offset)
 
 
-def _run_processes(handle: ServerHandle, jobs, timeout_s: float, admit: bool):
+def _run_processes(handle: ServerHandle, jobs, timeout_s: float, admit: bool,
+                   admit_retries: int = 0, outcomes: bool = False,
+                   slot_offset: int = 0):
     import multiprocessing as mp
 
     workers = []
     for slot, (delay_s, config, frame_hw, video_key, num_frames,
-               label) in enumerate(jobs):
+               label) in enumerate(jobs, start=slot_offset):
         parent_conn, child_conn = mp.Pipe(duplex=False)
-        address = handle.admit_address(slot) if admit else handle.address(slot)
+        address = (
+            handle.admit_address(slot, admit_retries=admit_retries)
+            if admit else handle.address(slot)
+        )
         proc = mp.Process(
             target=_client_process_main,
             args=(address, config, frame_hw, video_key, num_frames,
@@ -1050,8 +1327,16 @@ def _run_processes(handle: ServerHandle, jobs, timeout_s: float, admit: bool):
         for session, (proc, conn) in enumerate(workers):
             budget = max(0.0, deadline - time.monotonic())
             if not conn.poll(budget):
+                if outcomes:
+                    # Storm accounting: a hung client is data, not a
+                    # harness crash — the report shows the wedge.
+                    results.append(("error", "no result before deadline"))
+                    continue
                 raise TimeoutError(f"client process {session} produced no result")
             status, payload = conn.recv()
+            if outcomes:
+                results.append((status, payload))
+                continue
             if status != "ok":
                 raise RuntimeError(f"client process {session} failed: {payload}")
             results.append(payload)

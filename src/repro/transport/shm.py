@@ -216,6 +216,11 @@ class ShmRing:
             self._scratch = bytearray(total)
         view = memoryview(self._scratch)
         view[:n] = first
+        # Drop the slot sub-view *before* awaiting later fragments: if
+        # the wait times out (a peer that published a partial message
+        # and stalled), a live slice would pin the shared mapping open
+        # past close() — the ring must stay releasable mid-teardown.
+        first.release()
         self._release()
         offset = n
         while offset < total:

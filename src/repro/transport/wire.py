@@ -50,6 +50,15 @@ version-2 frames unchanged (the header layout is identical and every
 v2 kind kept its code), but the v3-only kinds are invalid in a frame
 claiming version 2.
 
+Version 4 extends ``REJECT`` with overload control: a new
+``overloaded`` reason code and an optional typed ``retry_after`` hint
+(measured in server ticks — one tick per message the runtime serves),
+so a refused client can back off for a load-derived interval instead
+of guessing.  The header layout is unchanged; version-2 and version-3
+frames still decode (a v3 ``REJECT`` body simply has no hint), and
+v4-only syntax — the hint field — never appears in frames claiming an
+older version.
+
 The normative byte-level spec lives in ``docs/PROTOCOL.md``;
 ``tests/test_protocol_doc.py`` asserts this module and that document
 agree on every constant.
@@ -75,7 +84,7 @@ from repro.nn.serialize import array_wire_nbytes, read_array, write_array
 from repro.runtime.server import ServerReply
 
 MAGIC = b"ST"
-VERSION = 3
+VERSION = 4
 
 KIND_SHUTDOWN = 0
 KIND_STATE = 1
@@ -101,6 +110,7 @@ REJECT_SESSION_IN_USE = 2    #: HELLO for an id already open or already ended
 REJECT_CAPACITY = 3          #: admission refused: server at max_sessions
 REJECT_MALFORMED = 4         #: ADMIT blueprint failed validation
 REJECT_DISABLED = 5          #: server runs with dynamic admission off
+REJECT_OVERLOADED = 6        #: admission refused: token bucket empty (v4)
 
 REJECT_REASONS = {
     REJECT_UNKNOWN_SESSION: "unknown-session",
@@ -108,6 +118,7 @@ REJECT_REASONS = {
     REJECT_CAPACITY: "capacity",
     REJECT_MALFORMED: "malformed-blueprint",
     REJECT_DISABLED: "admission-disabled",
+    REJECT_OVERLOADED: "overloaded",
 }
 
 # magic, version, kind, session, total_len
@@ -120,7 +131,12 @@ MAX_SESSION = 0xFFFF
 _REPLY_HEAD = struct.Struct("<ddI")  # metric, initial_metric, steps
 _COUNT = struct.Struct("<I")
 _NAME_LEN = struct.Struct("<H")
-_REJECT_HEAD = struct.Struct("<HH")  # reason code, detail byte length
+#: v4 REJECT body head: code, detail byte length, has_retry_after,
+#: retry_after (ticks; 0 and ignored when the flag byte is 0).
+_REJECT_HEAD = struct.Struct("<HHBQ")
+#: The v3 REJECT body head (code, detail byte length) — kept so v3
+#: frames from older peers still decode.
+_REJECT_HEAD_V3 = struct.Struct("<HH")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -235,11 +251,18 @@ class Reject:
     refused ADMIT the session field echoes the request's (0 — no id
     was ever assigned); for a refused HELLO it names the session the
     client asked for.
+
+    ``retry_after`` (version 4) is an optional hint, in server ticks
+    (one tick per served message), after which a retry has a chance of
+    succeeding — the overload layer stamps it on ``capacity`` and
+    ``overloaded`` refusals.  ``None`` means the server offered no
+    hint; frames from v3 peers always decode with ``None``.
     """
 
     session: int
     code: int
     detail: str = ""
+    retry_after: Optional[int] = None
 
     @property
     def reason(self) -> str:
@@ -400,7 +423,16 @@ def encode_into(obj: Message, buf: memoryview, session: int = 0) -> int:
         detail = obj.detail.encode()
         if len(detail) > 0xFFFF:
             raise WireError("REJECT detail does not fit the u16 length field")
-        _REJECT_HEAD.pack_into(buf, offset, obj.code, len(detail))
+        retry_after = obj.retry_after
+        if retry_after is not None and not 0 <= retry_after <= 0xFFFFFFFFFFFFFFFF:
+            raise WireError(
+                f"REJECT retry_after {retry_after} does not fit the u64 field"
+            )
+        _REJECT_HEAD.pack_into(
+            buf, offset, obj.code, len(detail),
+            0 if retry_after is None else 1,
+            0 if retry_after is None else retry_after,
+        )
         offset += _REJECT_HEAD.size
         buf[offset : offset + len(detail)] = detail
         offset += len(detail)
@@ -425,7 +457,7 @@ def peek_header(buf: memoryview) -> Tuple[int, int, int]:
     magic, version, kind, session, total = _HEADER.unpack_from(buf, 0)
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
-    if version not in (2, VERSION):
+    if version not in (2, 3, VERSION):
         raise WireError(f"unsupported wire version {version}")
     if kind not in _KINDS:
         raise WireError(f"unknown message kind {kind}")
@@ -468,10 +500,20 @@ def decode_tagged(buf: Union[bytes, bytearray, memoryview]) -> Tuple[int, Messag
         state, _ = _read_state(buf, offset)
         return session, Admit.from_state(state)
     if kind == KIND_REJECT:
-        code, detail_len = _REJECT_HEAD.unpack_from(buf, offset)
-        offset += _REJECT_HEAD.size
+        # The REJECT body grew the retry_after hint in v4; frames from
+        # v3 peers carry the shorter historical layout.
+        if buf[2] >= 4:
+            code, detail_len, has_retry, retry_raw = _REJECT_HEAD.unpack_from(
+                buf, offset
+            )
+            offset += _REJECT_HEAD.size
+            retry_after = int(retry_raw) if has_retry else None
+        else:
+            code, detail_len = _REJECT_HEAD_V3.unpack_from(buf, offset)
+            offset += _REJECT_HEAD_V3.size
+            retry_after = None
         detail = bytes(buf[offset : offset + detail_len]).decode()
-        return session, Reject(session, int(code), detail)
+        return session, Reject(session, int(code), detail, retry_after)
     if kind == KIND_STATE:
         state, _ = _read_state(buf, offset)
         return session, state

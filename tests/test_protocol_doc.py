@@ -193,8 +193,26 @@ class TestDocExamplesAreHonest:
         assert as_admit[wire.HEADER_NBYTES:] == as_state[wire.HEADER_NBYTES:]
 
     def test_reject_body_layout(self):
-        reject = wire.Reject(5, wire.REJECT_CAPACITY, "full")
+        # v4 body head: u16 code | u16 detail_len | u8 flag | u64 hint.
+        head = struct.Struct("<HHBQ")
+        reject = wire.Reject(5, wire.REJECT_OVERLOADED, "dry", retry_after=17)
         body = wire.encode(reject)[wire.HEADER_NBYTES:]
-        code, detail_len = struct.unpack_from("<HH", body, 0)
+        code, detail_len, has_retry, retry_after = head.unpack_from(body, 0)
+        assert code == wire.REJECT_OVERLOADED
+        assert (has_retry, retry_after) == (1, 17)
+        assert body[head.size : head.size + detail_len].decode() == "dry"
+        # Without a hint the flag and field MUST both encode as zero.
+        bare = wire.encode(wire.Reject(5, wire.REJECT_CAPACITY, "full"))
+        body = bare[wire.HEADER_NBYTES:]
+        code, detail_len, has_retry, retry_after = head.unpack_from(body, 0)
         assert code == wire.REJECT_CAPACITY
-        assert body[4 : 4 + detail_len].decode() == "full"
+        assert (has_retry, retry_after) == (0, 0)
+        assert body[head.size : head.size + detail_len].decode() == "full"
+
+    def test_retryable_codes_are_exactly_3_and_6(self):
+        """§4.6: capacity and overloaded are the retryable refusals."""
+        from repro.serving.runtime import AdmissionError
+
+        for code, name in wire.REJECT_REASONS.items():
+            exc = AdmissionError(wire.Reject(0, code, ""))
+            assert exc.retryable == (name in ("capacity", "overloaded")), name

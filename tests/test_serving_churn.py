@@ -6,7 +6,9 @@ The acceptance property: a session admitted into a *running*
 joins and departures interleaved.  Also covers admission over a shared
 parent connection (pool of negotiated sessions on one link), the mixed
 blueprint + admitted population, server-assigned session ids, and the
-capacity policy's free-a-slot-and-retry behaviour.
+capacity policy's free-a-slot-and-retry behaviour.  ISSUE 6 adds the
+typed refusal metadata (``AdmissionError.retryable`` / ``retry_after``)
+and the bounded seeded retry loop behind ``admit_retries``.
 """
 
 import dataclasses
@@ -191,6 +193,137 @@ class TestCapacityPolicy:
                 dataclasses.replace(_config(), attach=handle.ticket(0)), _HW
             )
             client.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+
+class TestAdmissionRetry:
+    """ISSUE 6 satellite: typed refusal metadata and the bounded,
+    seeded retry loop behind ``admit_retries``."""
+
+    def test_refusals_carry_retry_metadata(self):
+        from repro.serving.overload import OverloadConfig
+
+        handle = start_server(
+            [], transport="shm", n_clients=1, max_sessions=2,
+            idle_timeout_s=60,
+            overload=OverloadConfig(admission_rate=0.001,
+                                    admission_burst=1.0,
+                                    capacity_retry_after=48),
+        )
+        try:
+            occupant = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                _HW,
+            )
+            # The bucket held one token; the next ADMIT is a typed,
+            # retryable refusal with a ticks-until-token hint.
+            with pytest.raises(AdmissionError, match="overloaded") as excinfo:
+                build_session(
+                    dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                    _HW,
+                )
+            assert excinfo.value.reason == "overloaded"
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after >= 1
+            occupant.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+    def test_capacity_refusal_is_retryable_disabled_is_not(self):
+        handle = start_server([], transport="shm", n_clients=1,
+                              max_sessions=1, idle_timeout_s=60)
+        try:
+            occupant = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                _HW,
+            )
+            with pytest.raises(AdmissionError, match="capacity") as excinfo:
+                build_session(
+                    dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                    _HW,
+                )
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after >= 1
+            occupant.server.close()
+        finally:
+            handle.close()
+        disabled = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, admit=False, idle_timeout_s=60,
+        )
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                build_session(
+                    dataclasses.replace(
+                        _config(), attach=disabled.admit_ticket(admit_retries=5)
+                    ),
+                    _HW,
+                )
+            # Structural refusals are NOT retryable: the retry budget
+            # must not burn five sleeps on a server that said "never".
+            assert excinfo.value.reason == "admission-disabled"
+            assert not excinfo.value.retryable
+            client = build_session(
+                dataclasses.replace(_config(), attach=disabled.ticket(0)), _HW
+            )
+            client.server.close()
+        finally:
+            disabled.close()
+
+    def test_bounded_retry_admits_once_occupant_departs(self):
+        import threading
+
+        handle = start_server([], transport="shm", n_clients=1,
+                              max_sessions=1, idle_timeout_s=60)
+        try:
+            occupant = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                _HW,
+            )
+            # Free the slot ~0.5s in; the waiting client's seeded retry
+            # loop (capacity hint 64 ticks -> ~0.32s nominal sleeps)
+            # must pick the slot up within its bounded budget.
+            timer = threading.Timer(0.5, occupant.server.close)
+            timer.start()
+            try:
+                retry = build_session(
+                    dataclasses.replace(
+                        _config(),
+                        attach=handle.admit_ticket(admit_retries=20,
+                                                   retry_seed=3),
+                    ),
+                    _HW,
+                )
+            finally:
+                timer.join()
+            assert retry.server.session == 1  # ids are never reused
+            retry.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+
+    def test_exhausted_retry_budget_raises_the_last_refusal(self):
+        handle = start_server([], transport="shm", n_clients=1,
+                              max_sessions=1, idle_timeout_s=60)
+        try:
+            occupant = build_session(
+                dataclasses.replace(_config(), attach=handle.admit_ticket()),
+                _HW,
+            )
+            # Nobody ever departs: two retries, then the typed error
+            # surfaces — bounded, never an infinite spin.
+            with pytest.raises(AdmissionError, match="capacity"):
+                build_session(
+                    dataclasses.replace(
+                        _config(),
+                        attach=handle.admit_ticket(admit_retries=2),
+                    ),
+                    _HW,
+                )
+            occupant.server.close()
         finally:
             handle.close()
         assert handle.process.exitcode == 0

@@ -1,0 +1,57 @@
+"""Seeded storms against a live overload-armed server (ISSUE 6).
+
+The tentpole acceptance property, at small scale so the tier-1 gate can
+afford it: under **every** named storm at a fixed seed the server never
+wedges — honest traffic resolves (served, or refused with a *typed*
+REJECT carrying a ``retry_after`` hint), attackers are torn down by the
+receive budget / idle reaper, the process exits 0, and no shm segment
+leaks.  The full-scale throughput floors live in
+``benchmarks/test_perf_overload.py``; plan construction determinism is
+unit-tested in ``tests/test_overload.py``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.serving.storms import STORM_NAMES, run_storm, storm_plan
+
+pytestmark = pytest.mark.storm
+
+
+def _shm_segments():
+    shm_dir = pathlib.Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return None
+    return {p for p in shm_dir.iterdir() if p.name.startswith("psm_")}
+
+
+@pytest.mark.parametrize("name", STORM_NAMES)
+def test_storm_never_wedges_server(name):
+    before = _shm_segments()
+    plan = storm_plan(name, seed=0, frames=2)
+    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0)
+    assert report.name == name and report.control
+    # No wedge: the server drained the storm and exited cleanly, and
+    # every honest job resolved one way or the other.
+    assert not report.wedged
+    assert report.server_exit == 0
+    assert report.errors == 0
+    assert report.ok + report.rejected == len(plan.jobs)
+    assert report.ok >= 1  # the storm never starves *all* honest traffic
+    # Refusals, if any, are typed and always carry a retry hint.
+    assert set(report.reject_reasons) <= {"overloaded", "capacity"}
+    assert report.hinted == report.rejected
+    if before is not None:
+        leaked = _shm_segments() - before
+        assert not leaked, f"leaked shm segments: {leaked}"
+
+
+def test_slow_loris_honest_traffic_completes():
+    """The loris stallers and the never-BYE ghost must not cost any
+    honest client its session: budget teardown, not queue starvation."""
+    plan = storm_plan("slow-loris", seed=0, frames=2)
+    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0)
+    assert not report.wedged
+    assert report.ok == len(plan.jobs)
+    assert report.rejected == 0

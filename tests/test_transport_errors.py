@@ -9,6 +9,10 @@ admission-era paths: a malformed ADMIT blueprint is REJECTed (never
 crashes the server other clients depend on), REJECT reason codes
 round-trip the wire, and a client dialing a capacity-exhausted server
 gets a clean typed error with no wedged ring or leaked shm segment.
+ISSUE 6 adds the overload-era paths: the v4 REJECT ``retry_after``
+hint round-trips (and v3 REJECT frames still decode), and a client
+killed with ``SIGKILL`` mid-run is torn down by the receive budget /
+idle reaper without wedging the server or leaking its shm segments.
 """
 
 import dataclasses
@@ -251,6 +255,112 @@ class TestAdmissionErrors:
             proc.join(timeout=30)
             assert proc.exitcode == 0
             occupant.server.close()
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        if before is not None:
+            leaked = shm_segments() - before
+            assert not leaked, f"leaked shm segments: {leaked}"
+
+
+class TestOverloadWire:
+    """ISSUE 6 satellite: the v4 REJECT ``retry_after`` hint."""
+
+    def test_retry_after_roundtrips(self):
+        for hint in (None, 0, 1, 64, 0xFFFFFFFFFFFFFFFF):
+            reject = wire.Reject(7, wire.REJECT_OVERLOADED, "bucket dry", hint)
+            session, out = wire.decode_tagged(wire.encode(reject))
+            assert out == reject
+            assert out.retry_after == hint
+            assert session == 7
+
+    def test_retry_after_overflow_is_loud(self):
+        with pytest.raises(wire.WireError, match="retry_after"):
+            wire.encode(wire.Reject(0, wire.REJECT_OVERLOADED,
+                                    retry_after=2 ** 64))
+
+    def test_v3_reject_still_decodes(self):
+        """A REJECT from a v3 peer carries the shorter historical body
+        (no retry_after field); it must decode with ``retry_after``
+        None, not shear into the detail bytes."""
+        detail = "server full".encode()
+        body = wire._REJECT_HEAD_V3.pack(wire.REJECT_CAPACITY, len(detail))
+        total = wire.HEADER_NBYTES + len(body) + len(detail)
+        buf = bytearray(total)
+        wire._HEADER.pack_into(buf, 0, wire.MAGIC, 3, wire.KIND_REJECT,
+                               5, total)
+        buf[wire.HEADER_NBYTES:] = body + detail
+        session, out = wire.decode_tagged(buf)
+        assert session == 5
+        assert out == wire.Reject(5, wire.REJECT_CAPACITY, "server full", None)
+        assert out.retry_after is None
+
+
+class TestClientDeath:
+    """ISSUE 6 satellite: SIGKILL a client mid-run; the server must tear
+    the connection down (receive budget + idle reaper), keep serving
+    other clients, and leak no shm segment."""
+
+    def test_sigkill_mid_frame_does_not_wedge_server(self):
+        import multiprocessing as mp
+        import pathlib
+
+        from repro.runtime.session import SessionConfig, build_session
+        from repro.serving.overload import OverloadConfig
+        from repro.serving.runtime import start_server
+        from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+        def _make_video():
+            video = make_category_video(
+                CATEGORY_BY_KEY["fixed-people"], height=32, width=48
+            )
+            video.reset()
+            return video
+
+        def _victim_main(address, started):
+            config = dataclasses.replace(
+                SessionConfig(student_width=0.25, pretrain_steps=5),
+                attach=address,
+            )
+            client = build_session(config, (32, 48))
+            started.send("running")
+            started.close()
+            client.run(_make_video().frames(10_000), label="victim")
+
+        def shm_segments():
+            shm_dir = pathlib.Path("/dev/shm")
+            if not shm_dir.is_dir():
+                return None
+            return {p for p in shm_dir.iterdir() if p.name.startswith("psm_")}
+
+        before = shm_segments()
+        handle = start_server(
+            [], transport="shm", n_clients=2, idle_timeout_s=60,
+            overload=OverloadConfig(recv_budget_s=0.5, reap_idle_s=1.0),
+        )
+        try:
+            recv_end, send_end = mp.Pipe(duplex=False)
+            victim = mp.Process(
+                target=_victim_main,
+                args=(handle.admit_address(0), send_end), daemon=True,
+            )
+            victim.start()
+            send_end.close()
+            assert recv_end.poll(60), "victim never started its run"
+            assert recv_end.recv() == "running"
+            victim.kill()  # SIGKILL: no goodbye, possibly mid-frame
+            victim.join(timeout=30)
+
+            # The server must still admit and serve a fresh client to
+            # completion while the dead slot is budget/reaper-collected.
+            config = dataclasses.replace(
+                SessionConfig(student_width=0.25, pretrain_steps=5),
+                attach=handle.admit_address(1),
+            )
+            survivor = build_session(config, (32, 48))
+            stats = survivor.run(_make_video().frames(6), label="survivor")
+            assert stats.num_frames == 6
+            survivor.server.close()
         finally:
             handle.close()
         assert handle.process.exitcode == 0
