@@ -25,7 +25,16 @@ RunStats verified bit-identical across the two paths.  Adding
 ``--churn`` switches to the dynamic-admission variant: the server
 starts with an empty blueprint table and every client negotiates its
 session over the wire (ADMIT), so the recorded speedup includes the
-full wire-negotiated admission cost.
+full wire-negotiated admission cost.  The blueprinted variant runs a
+neural teacher by default and also measures the unbatched mux as an
+in-record A/B (``batch_speedup``); ``--no-batch`` serves key frames
+inline per connection (the PR-6 path) instead.
+
+Records are deduplicated on append by ``(name, pr, git_rev)`` — re-running
+a benchmark at the same revision replaces its record instead of
+stacking a duplicate; ``--migrate`` also collapses historical
+duplicates (keeping the latest measurement) and stamps the uniform
+top-level ``speedup`` field onto storm/transport records.
 
 Each invocation appends one schema-stamped record (``name``, ``pr``,
 ``git_rev``, timestamp), so the file accumulates the throughput
@@ -87,6 +96,19 @@ def main() -> int:
                         help="with --serve-many: start the server with no "
                              "blueprints and have every client negotiate "
                              "its session over the wire (dynamic admission)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="with --serve-many: serve key frames inline "
+                             "per connection (the PR-6 path) instead of "
+                             "gathering each sweep's key frames into one "
+                             "batched teacher inference; also skips the "
+                             "in-record unbatched A/B")
+    parser.add_argument("--serve-teacher", default="neural",
+                        choices=("neural", "oracle"),
+                        help="teacher for the blueprinted --serve-many "
+                             "variant (default: neural — real per-key-frame "
+                             "GEMMs; --churn always uses the oracle because "
+                             "the ADMIT wire frame cannot describe a neural "
+                             "teacher)")
     parser.add_argument("--storm", default=None, metavar="NAME",
                         choices=("churn-storm", "thundering-herd",
                                  "slow-loris", "scene-cut-burst"),
@@ -129,11 +151,7 @@ def main() -> int:
         )
         summary = format_storm_record(record)
     elif args.serve_many is not None:
-        measure = (
-            measure_serve_many_churn if args.churn
-            else measure_serve_many_throughput
-        )
-        record = measure(
+        kwargs = dict(
             num_clients=args.serve_many,
             num_frames=args.frames or 32,
             width=args.width,
@@ -141,7 +159,14 @@ def main() -> int:
             pretrain_steps=args.pretrain_steps,
             transport=args.serve_transport,
             pr=args.pr,
+            batch=not args.no_batch,
         )
+        if args.churn:
+            record = measure_serve_many_churn(**kwargs)
+        else:
+            record = measure_serve_many_throughput(
+                teacher=args.serve_teacher, **kwargs
+            )
         summary = format_serve_many_record(record)
     elif args.pool is not None:
         record = measure_pool_throughput(

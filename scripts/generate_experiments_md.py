@@ -308,7 +308,7 @@ def section_perf():
             "`PYTHONPATH=src python scripts/bench_perf.py`.\n"
         )
     records = json.loads(DEFAULT_RESULTS_PATH.read_text())
-    engine_records = [r for r in records if "seed_path" in r]
+    engine_records = [r for r in records if r.get("name") == "engine-table3"]
     rows = []
     for rec in engine_records[-8:]:
         proto = rec["protocol"]
@@ -327,14 +327,26 @@ def section_perf():
          "predict ms", "step ms", "argmax ="],
         rows,
     )
+    # Headline trajectory: every record carries a uniform top-level
+    # "speedup" (the deduplicating append + --migrate stamp it), so this
+    # table needs no per-benchmark field knowledge.
+    traj_rows = [
+        [rec.get("name", "?"), rec.get("pr", "?"), rec.get("git_rev", "?"),
+         f2(rec["speedup"]) if isinstance(rec.get("speedup"), (int, float))
+         else "-"]
+        for rec in records[-12:]
+    ]
+    trajectory = md_table(["benchmark", "pr", "rev", "headline speedup"],
+                          traj_rows)
     return (
         "## Wall-clock performance (compiled engine)\n\n" + table +
         "\n\nReal wall-clock FPS of the 250-frame Table-3 partial "
         "protocol, seed autograd path vs compiled engine.  Each "
         "`scripts/bench_perf.py` run appends a record to BENCH_PERF.json "
-        "so the trajectory accumulates across PRs; "
-        "`benchmarks/test_perf_engine.py` enforces the >= 3x floor and "
-        "argmax-identical predictions.\n"
+        "(deduplicated by benchmark, PR and revision) so the trajectory "
+        "accumulates across PRs; `benchmarks/test_perf_engine.py` "
+        "enforces the >= 3x floor and argmax-identical predictions.\n\n"
+        "### Benchmark trajectory (latest records)\n\n" + trajectory + "\n"
     )
 
 

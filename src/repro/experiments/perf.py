@@ -99,16 +99,38 @@ def record_meta(name: str, pr: Optional[str] = None) -> Dict[str, str]:
     }
 
 
-def migrate_records(path: Optional[pathlib.Path] = None) -> int:
-    """Stamp schema fields onto pre-schema records in place.
+def _headline_speedup(record: Dict) -> Optional[float]:
+    """The record's one-number trajectory headline.
 
-    Legacy records (PRs 1-2) carried no ``name``/``pr``/``git_rev``, so
-    parsing them printed ``None``.  ``name`` is derived from the record
-    shape; ``pr`` by position relative to the first pooled-serving
-    record (engine records before it belong to PR 1, everything after
-    to PR 2 — the order the benchmarks were introduced); ``git_rev`` is
-    marked ``pre-schema`` since the producing commit was not recorded.
-    Returns the number of records updated.
+    Engine/pool/serve-many records already carry a top-level
+    ``speedup``; transport and storm records historically spelt theirs
+    differently (``speedup_frame``, ``storm_over_idle``), which forced
+    per-name special cases on every consumer.  This is the single place
+    that knows the mapping.
+    """
+    for field in ("speedup", "speedup_frame", "storm_over_idle"):
+        if field in record:
+            return record[field]
+    return None
+
+
+def migrate_records(path: Optional[pathlib.Path] = None) -> int:
+    """Bring an existing BENCH_PERF.json up to the current schema.
+
+    Three in-place repairs, each idempotent:
+
+    * stamp ``name``/``pr``/``git_rev`` onto pre-schema records (PRs
+      1-2; ``name`` derived from the record shape, ``pr`` by position
+      relative to the first pooled-serving record, ``git_rev`` marked
+      ``pre-schema``);
+    * collapse duplicate ``(name, pr, git_rev)`` entries — the
+      append-on-every-invocation bug stacked triplicate storm records —
+      keeping the *last* (most refined) measurement at the *first*
+      occurrence's trajectory position;
+    * stamp the uniform top-level ``speedup`` onto transport and storm
+      records that predate it (see :func:`_headline_speedup`).
+
+    Returns the number of records updated or removed.
     """
     path = pathlib.Path(path) if path is not None else DEFAULT_RESULTS_PATH
     if not path.exists():
@@ -133,6 +155,22 @@ def migrate_records(path: Optional[pathlib.Path] = None) -> int:
         rec.clear()
         rec.update(meta)
         updated += 1
+    slots: Dict[tuple, int] = {}
+    deduped: List[Dict] = []
+    for rec in records:
+        key = _record_key(rec)
+        if key in slots:
+            deduped[slots[key]] = rec
+            updated += 1
+        else:
+            slots[key] = len(deduped)
+            deduped.append(rec)
+    records = deduped
+    for rec in records:
+        headline = _headline_speedup(rec)
+        if headline is not None and "speedup" not in rec:
+            rec["speedup"] = headline
+            updated += 1
     if updated:
         path.write_text(json.dumps(records, indent=2) + "\n")
     return updated
@@ -450,6 +488,12 @@ def measure_transport_throughput(
         },
         "pipe": results["pipe"],
         "shm": results["shm"],
+        # The uniform trajectory headline (= speedup_frame, the ISSUE-3
+        # acceptance number) — every record kind carries "speedup" so
+        # consumers need no per-name special cases.
+        "speedup": round(
+            results["shm"]["frame_mb_s"] / results["pipe"]["frame_mb_s"], 2
+        ),
         "speedup_frame": round(
             results["shm"]["frame_mb_s"] / results["pipe"]["frame_mb_s"], 2
         ),
@@ -474,6 +518,8 @@ def _serve_many_benchmark(
     frame_hw: Tuple[int, int],
     pr: Optional[str],
     churn: bool,
+    batch: bool = True,
+    teacher: str = "neural",
 ) -> Dict:
     """Shared core of the serve-many benchmarks.
 
@@ -486,6 +532,16 @@ def _serve_many_benchmark(
     wire (``churn=True``).  The two variants differ *only* in how the
     multiplexed side attaches, so their records stay structurally
     identical and the trajectory stays comparable.
+
+    ``teacher`` selects the server's teacher (``"neural"`` puts real
+    per-key-frame GEMMs on the serve path — the cost sweep batching
+    amortises; ``"oracle"`` is the label-function stand-in earlier PRs
+    benched).  ``batch`` arms/disarms the runtime's gather → batch →
+    scatter sweep; the blueprinted variant with ``batch=True``
+    additionally measures the *unbatched* mux as an in-record A/B
+    (``multiplexed_unbatched``/``batch_speedup`` — the ISSUE-7 floor).
+    Churn is oracle-only: the ADMIT wire frame cannot describe a
+    neural teacher.
     """
     from repro.serving.runtime import (
         SessionBlueprint,
@@ -497,12 +553,19 @@ def _serve_many_benchmark(
 
     if category not in CATEGORY_BY_KEY:
         raise KeyError(f"unknown LVS category {category!r}")
+    if churn and teacher != "oracle":
+        raise ValueError(
+            "churn benches negotiate sessions over the ADMIT wire frame, "
+            f"which cannot describe a {teacher!r} teacher — use the "
+            "blueprinted variant"
+        )
     config = SessionConfig(
         distill=DistillConfig(
             max_updates=8, threshold=0.999, min_stride=2, max_stride=4
         ),
         student_width=width,
         pretrain_steps=pretrain_steps,
+        teacher_arch=teacher,
     )
     # Warm the parent-side pretrain cache (the servers pay their own).
     pretrained_student(width, config.student_seed, pretrain_steps, frame_hw)
@@ -527,7 +590,7 @@ def _serve_many_benchmark(
                 client.server.close()
         return time.perf_counter() - start, stats
 
-    def run_multiplexed() -> Tuple[float, list]:
+    def run_multiplexed(batch_sweeps: bool) -> Tuple[float, list, Optional[Dict]]:
         blueprints = (
             [] if churn else
             [SessionBlueprint(config, frame_hw) for _ in range(num_clients)]
@@ -535,7 +598,7 @@ def _serve_many_benchmark(
         start = time.perf_counter()
         handle = start_server(
             blueprints, transport=transport, n_clients=num_clients,
-            idle_timeout_s=120.0,
+            idle_timeout_s=120.0, batch=batch_sweeps,
         )
         try:
             if churn:
@@ -552,10 +615,12 @@ def _serve_many_benchmark(
                 stats = run_client_processes(handle, jobs, timeout_s=600.0)
         finally:
             handle.close()
-        return time.perf_counter() - start, stats
+        wall = time.perf_counter() - start
+        report = handle.runtime_report or {}
+        return wall, stats, report.get("serve_counters")
 
     dedicated_wall, dedicated_stats = run_dedicated()
-    mux_wall, mux_stats = run_multiplexed()
+    mux_wall, mux_stats, mux_counters = run_multiplexed(batch)
 
     identical = all(
         a.signature(include_label=False) == b.signature(include_label=False)
@@ -571,6 +636,8 @@ def _serve_many_benchmark(
         "frame_hw": list(frame_hw),
         "pretrain_steps": pretrain_steps,
         "transport": transport,
+        "teacher": teacher,
+        "batch": batch,
     }
     record = {
         **record_meta("serve-many-churn" if churn else "serve-many", pr),
@@ -595,9 +662,27 @@ def _serve_many_benchmark(
             "machine": platform.machine(),
         },
     }
+    if mux_counters:
+        record["multiplexed"]["serve_counters"] = mux_counters
     if churn:
         record["churn"] = True
         protocol["admission"] = "wire-negotiated (empty blueprint table)"
+    if batch and not churn:
+        # In-record A/B: the same mux deployment with sweep batching
+        # off — the PR-6 serve-inline path — so every record carries
+        # its own batching headline (floor-enforced >= 1.2x at N=4).
+        unbatched_wall, unbatched_stats, _ = run_multiplexed(False)
+        identical_unbatched = all(
+            a.signature(include_label=False) == b.signature(include_label=False)
+            for a, b in zip(unbatched_stats, mux_stats)
+        )
+        record["multiplexed_unbatched"] = {
+            "wall_time_s": round(unbatched_wall, 3),
+            "frames_per_s": round(total_frames / unbatched_wall, 3),
+            "bit_identical_to_batched": identical_unbatched,
+        }
+        record["batch_speedup"] = round(unbatched_wall / mux_wall, 3)
+        record["bit_identical"] = identical and identical_unbatched
     return record
 
 
@@ -610,6 +695,8 @@ def measure_serve_many_throughput(
     transport: str = "shm",
     frame_hw: Tuple[int, int] = _FRAME_HW,
     pr: Optional[str] = None,
+    batch: bool = True,
+    teacher: str = "neural",
 ) -> Dict:
     """Benchmark multiplexed serving against dedicated server processes.
 
@@ -637,10 +724,16 @@ def measure_serve_many_throughput(
     paths (and hence to the in-process run); the recorded ``speedup``
     is the acceptance number, floor-enforced at >= 2x by
     ``benchmarks/test_perf_serve_many.py``.
+
+    By default the teacher is the neural :class:`~repro.models.teacher.
+    TeacherNet` (real per-key-frame GEMMs — the serve cost ISSUE-7's
+    sweep batching amortises) and ``batch=True`` additionally runs the
+    unbatched mux, recording the in-record ``batch_speedup`` A/B
+    (floor-enforced at >= 1.2x for N = 4).
     """
     return _serve_many_benchmark(
         num_clients, num_frames, width, category, pretrain_steps,
-        transport, frame_hw, pr, churn=False,
+        transport, frame_hw, pr, churn=False, batch=batch, teacher=teacher,
     )
 
 
@@ -653,6 +746,7 @@ def measure_serve_many_churn(
     transport: str = "shm",
     frame_hw: Tuple[int, int] = _FRAME_HW,
     pr: Optional[str] = None,
+    batch: bool = True,
 ) -> Dict:
     """Benchmark *dynamically admitted* serving against dedicated servers.
 
@@ -667,10 +761,16 @@ def measure_serve_many_churn(
     overhead, not sleep time); departures interleave naturally as
     clients finish.  Floor-enforced alongside the blueprinted variant
     at >= 2x by ``benchmarks/test_perf_serve_many.py``.
+
+    The teacher stays the oracle: the ADMIT wire frame (v4) carries
+    only the oracle's noise field, so a wire-negotiated session cannot
+    describe a neural teacher.  No unbatched A/B either — churn records
+    measure admission cost, not batching; ``batch`` still selects which
+    runtime path serves the measured run.
     """
     return _serve_many_benchmark(
         num_clients, num_frames, width, category, pretrain_steps,
-        transport, frame_hw, pr, churn=True,
+        transport, frame_hw, pr, churn=True, batch=batch, teacher="oracle",
     )
 
 
@@ -720,14 +820,18 @@ def measure_storm(
         (0.0, probe_config, hw, "fixed-people", probe_frames, f"probe-{i}")
         for i in range(probes)
     ]
-    # Six probe waves share the server: a warmup (fills the server's
-    # pretrained-student cache so phase walls are comparable), the
-    # idle and under-storm phases, and three recovery passes (the best
-    # one is the steady-state number — the first can still straddle
-    # the drain edge, and on a single shared core any one pass can eat
-    # an OS scheduling hiccup); the storm's own slots come after.
-    n_slots = 6 * probes + plan.n_clients
-    storm_base = 6 * probes
+    # Eight probe waves share the server: a warmup (fills the server's
+    # pretrained-student cache so phase walls are comparable), three
+    # idle passes (the *median* is the baseline — idle is the
+    # denominator of both floors, so a single lucky-fast pass would
+    # unfairly deflate every later ratio just as a slow one would
+    # inflate them), the under-storm phase, and three recovery passes
+    # (the *best* one is the steady-state number — the first can still
+    # straddle the drain edge, and on a single shared core any one
+    # pass can eat an OS scheduling hiccup); the storm's own slots
+    # come after.
+    n_slots = 8 * probes + plan.n_clients
+    storm_base = 8 * probes
 
     handle = start_server(
         [], transport=transport, n_clients=n_slots,
@@ -765,7 +869,11 @@ def measure_storm(
     attackers = []
     try:
         probe_phase(0)  # warmup (server-side caches, ring faults)
-        idle = probe_phase(probes)
+        idle = sorted(
+            (probe_phase(probes), probe_phase(2 * probes),
+             probe_phase(3 * probes)),
+            key=lambda phase: phase["frames_per_s"],
+        )[1]
 
         for slot in plan.loris_slots:
             proc = mp.Process(
@@ -786,7 +894,7 @@ def measure_storm(
         storm_thread = threading.Thread(target=storm_main, daemon=True)
         storm_thread.start()
         time.sleep(0.2)  # let the front of the storm reach the server
-        under_storm = probe_phase(2 * probes)
+        under_storm = probe_phase(4 * probes)
         storm_thread.join(timeout=plan.timeout_s)
     finally:
         for proc in attackers:
@@ -797,8 +905,8 @@ def measure_storm(
     settle = plan.overload.reap_idle_s if attackers else None
     time.sleep(min(settle, 5.0) if settle else 0.5)
     recovery = max(
-        (probe_phase(3 * probes), probe_phase(4 * probes),
-         probe_phase(5 * probes)),
+        (probe_phase(5 * probes), probe_phase(6 * probes),
+         probe_phase(7 * probes)),
         key=lambda phase: phase["frames_per_s"],
     )
     handle.close()
@@ -833,6 +941,11 @@ def measure_storm(
         "idle": idle,
         "storm": under_storm,
         "recovery": recovery,
+        # Uniform trajectory headline (= storm_over_idle): how much of
+        # idle throughput the probes kept under the storm.
+        "speedup": round(
+            under_storm["frames_per_s"] / idle["frames_per_s"], 3
+        ) if idle["frames_per_s"] else 0.0,
         "storm_over_idle": round(
             under_storm["frames_per_s"] / idle["frames_per_s"], 3
         ) if idle["frames_per_s"] else 0.0,
@@ -904,17 +1017,33 @@ def format_serve_many_record(record: Dict) -> str:
     proto = record["protocol"]
     dedicated, mux = record["dedicated_pipe"], record["multiplexed"]
     flavour = "admitted over the wire" if record.get("churn") else "blueprinted"
-    return (
+    teacher = proto.get("teacher", "oracle")
+    batched = "batched" if proto.get("batch", False) else "unbatched"
+    lines = (
         f"serve-many perf — {proto['num_clients']} client processes "
         f"({flavour}) x {proto['num_frames']} frames ({proto['category']}, "
-        f"width {proto['student_width']}, {proto['transport']}):\n"
+        f"width {proto['student_width']}, {proto['transport']}, "
+        f"{teacher} teacher, {batched} sweeps):\n"
         f"  dedicated pipe servers ({dedicated['server_processes']} procs): "
         f"{dedicated['wall_time_s']:.2f}s ({dedicated['frames_per_s']:.1f} f/s)\n"
         f"  multiplexed (1 server proc): {mux['wall_time_s']:.2f}s "
         f"({mux['frames_per_s']:.1f} f/s) -> {record['speedup']:.2f}x\n"
+    )
+    if "multiplexed_unbatched" in record:
+        unbatched = record["multiplexed_unbatched"]
+        lines += (
+            f"  unbatched mux A/B: {unbatched['wall_time_s']:.2f}s "
+            f"({unbatched['frames_per_s']:.1f} f/s) -> batching "
+            f"{record['batch_speedup']:.2f}x\n"
+        )
+    if "serve_counters" in mux:
+        counters = mux["serve_counters"]
+        lines += f"  serve counters: {counters}\n"
+    lines += (
         f"  per-session stats bit-identical across paths: "
         f"{record['bit_identical']}\n"
     )
+    return lines
 
 
 def format_transport_record(record: Dict) -> str:
@@ -956,13 +1085,34 @@ def format_pool_record(record: Dict) -> str:
     )
 
 
+def _record_key(record: Dict) -> tuple:
+    """The identity a trajectory entry occupies: one benchmark, one PR,
+    one commit.  Re-running the same bench at the same commit refines
+    the measurement; it does not add a data point."""
+    return (record.get("name"), record.get("pr"), record.get("git_rev"))
+
+
 def append_record(record: Dict, path: Optional[pathlib.Path] = None) -> pathlib.Path:
-    """Append ``record`` to the BENCH_PERF.json trajectory log."""
+    """Append ``record`` to the BENCH_PERF.json trajectory log.
+
+    Appends are deduplicated on ``(name, pr, git_rev)``: re-running a
+    bench at the same commit *replaces* the earlier record in place
+    (keeping its position in the trajectory) instead of stacking
+    near-identical entries — the bug that left BENCH_PERF.json with
+    triplicate PR6 storm records.
+    """
     path = pathlib.Path(path) if path is not None else DEFAULT_RESULTS_PATH
     records: List[Dict] = []
     if path.exists():
         records = json.loads(path.read_text())
-    records.append(record)
+    key = _record_key(record)
+    slots = [i for i, rec in enumerate(records) if _record_key(rec) == key]
+    if slots:
+        records[slots[0]] = record
+        for i in reversed(slots[1:]):
+            del records[i]
+    else:
+        records.append(record)
     path.write_text(json.dumps(records, indent=2) + "\n")
     return path
 

@@ -247,7 +247,10 @@ class Module:
         try:
             if kind.startswith("train"):
                 plan = CompiledTrainStep(fns[kind], examples)
-            elif kind == "serve":
+            elif kind.endswith("serve"):
+                # "serve", "soft_serve", ...: multi-sample plans whose
+                # per-sample batch-norm statistics keep every sample in
+                # an n > 1 run bit-identical to its own n = 1 run.
                 plan = compile_plan(fns[kind], examples, per_sample_stats=True)
             else:
                 plan = compile_plan(fns[kind], examples)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.distill.config import DistillConfig, DistillMode
 from repro.models.student import StudentNet
-from repro.models.teacher import OracleTeacher, Teacher
+from repro.models.teacher import OracleTeacher, Teacher, TeacherNet
 from repro.models.pretrain import pretrain_student
 from repro.network.messages import MessageSizes
 from repro.network.model import NetworkModel
@@ -42,6 +42,18 @@ class SessionConfig:
     pretrain_steps: int = 80
     forced_delay_frames: Optional[int] = None
     teacher_boundary_noise: float = 0.0
+    #: Which teacher the server half runs: ``"oracle"`` (default — the
+    #: label function of the stream, see
+    #: :class:`~repro.models.teacher.OracleTeacher`) or ``"neural"``
+    #: (a real :class:`~repro.models.teacher.TeacherNet` FCN whose
+    #: per-key-frame GEMMs are the serve-time cost the batched runtime
+    #: amortises).  Teacher construction is deterministic from these
+    #: three fields, so every process that holds the config builds the
+    #: same teacher — that is what lets the spec cross process
+    #: boundaries without pickling a model object.
+    teacher_arch: str = "oracle"
+    teacher_width: int = 48
+    teacher_seed: int = 0
     #: Which registered transport carries the client/server protocol:
     #: ``"inproc"`` (default) keeps the server in-process as before;
     #: ``"pipe"`` / ``"shm"`` / ``"socket"`` spawn a *dedicated* server
@@ -62,6 +74,21 @@ class SessionConfig:
     #: instantiates it mid-run (dynamic admission).  Takes precedence
     #: over ``transport``, which describes spawning a dedicated server.
     attach: Optional[object] = None
+
+
+def build_teacher(config: SessionConfig) -> Teacher:
+    """Construct the teacher a config describes — deterministically.
+
+    The factory is the single place that maps the config's teacher
+    fields to a model object, so the in-process path, the dedicated
+    server process, and the multiplexed runtime cannot drift: each
+    rebuilds bit-identical teachers from the same three numbers.
+    """
+    if config.teacher_arch == "oracle":
+        return OracleTeacher(config.teacher_boundary_noise)
+    if config.teacher_arch == "neural":
+        return TeacherNet(width=config.teacher_width, seed=config.teacher_seed)
+    raise ValueError(f"unknown teacher_arch: {config.teacher_arch!r}")
 
 
 #: Cache of pre-trained student checkpoints keyed by (width, seed, steps,
@@ -101,15 +128,17 @@ def _remote_server_main(endpoint, config: SessionConfig, frame_hw) -> None:
     """Algorithm 3 in a spawned server process (any real transport).
 
     Builds the same deterministic server a local session would get —
-    same pre-trained checkpoint, same oracle teacher — so replies (and
+    same pre-trained checkpoint, same teacher rebuilt from the config's
+    teacher fields — so replies (and
     therefore the client's ``RunStats``) are identical to the
     in-process run.
     """
     student = pretrained_student(
         config.student_width, config.student_seed, config.pretrain_steps, frame_hw
     )
-    teacher = OracleTeacher(config.teacher_boundary_noise)
-    Server(student, teacher, config.distill, config.sizes).serve(endpoint)
+    Server(student, build_teacher(config), config.distill, config.sizes).serve(
+        endpoint
+    )
 
 
 def _build_remote_session(
@@ -176,7 +205,8 @@ def build_session(
         if teacher is not None:
             raise ValueError(
                 "custom teacher objects cannot cross a process boundary; "
-                "the multiplexed server builds its own OracleTeacher "
+                "the multiplexed server rebuilds the teacher from the "
+                "config's teacher fields "
                 "(use transport='inproc' for custom teachers)"
             )
         from repro.serving.runtime import attach_session
@@ -186,7 +216,8 @@ def build_session(
         if teacher is not None:
             raise ValueError(
                 "custom teacher objects cannot cross a process boundary; "
-                "remote transports build their own OracleTeacher "
+                "remote transports rebuild the teacher from the config's "
+                "teacher fields "
                 "(use transport='inproc' for custom teachers)"
             )
         return _build_remote_session(config, frame_hw, stride_policy)
@@ -197,7 +228,7 @@ def build_session(
     client_student = pretrained_student(
         config.student_width, config.student_seed, config.pretrain_steps, frame_hw
     )
-    teacher = teacher or OracleTeacher(config.teacher_boundary_noise)
+    teacher = teacher or build_teacher(config)
     server = Server(server_student, teacher, config.distill, config.sizes)
     return Client(
         client_student,
@@ -248,7 +279,7 @@ def run_naive(
 ) -> RunStats:
     """Run the naive-offloading baseline on the same stream."""
     config = config or SessionConfig()
-    teacher = teacher or OracleTeacher(config.teacher_boundary_noise)
+    teacher = teacher or build_teacher(config)
     client = NaiveOffloadClient(
         teacher,
         latency=config.latency,

@@ -52,7 +52,7 @@ idle-session reaper — all off by default, bit-identical when disabled.
 proves it: named storm scenarios, each a pure function of a seed.
 """
 
-from repro.serving.batched import BatchedPredictor
+from repro.serving.batched import BatchedPredictor, BatchedTeacher
 from repro.serving.overload import (
     LoadTracker,
     OverloadConfig,
@@ -79,6 +79,7 @@ from repro.serving.storms import STORM_NAMES, StormPlan, StormReport, run_storm,
 __all__ = [
     "AdmissionError",
     "BatchedPredictor",
+    "BatchedTeacher",
     "LoadTracker",
     "OverloadConfig",
     "OverloadController",

@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 __all__ = [
     "TokenBucket",
@@ -234,7 +235,21 @@ class OverloadController:
     state.
     """
 
-    def __init__(self, config: OverloadConfig) -> None:
+    #: Seconds-per-tick assumed before any measurement exists (and the
+    #: conversion used by runtimes with no controller at all): the
+    #: nominal cost of one small-frame serve on the bench box.
+    FALLBACK_TICK_S = 0.005
+    #: EWMA smoothing for the measured seconds-per-tick.
+    TICK_EWMA_ALPHA = 0.1
+    #: Inter-serve gaps longer than this are idle time, not serve cost —
+    #: clamp so one quiet stretch cannot poison the calibration.
+    TICK_CLAMP_S = 1.0
+
+    def __init__(
+        self,
+        config: OverloadConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.config = config
         self.tick = 0
         self.bucket = (
@@ -245,11 +260,45 @@ class OverloadController:
             config.high_water, config.ewma_alpha, config.max_level
         )
         self.refusals = {"overloaded": 0, "capacity": 0}
+        self._clock = clock
+        self._last_served_at: Optional[float] = None
+        #: Measured seconds-per-tick EWMA; ``None`` until two serves
+        #: have been observed.
+        self.tick_s: Optional[float] = None
 
     # -- clock -----------------------------------------------------------
     def served(self) -> None:
-        """Advance the tick clock: one message was handled."""
+        """Advance the tick clock: one message was handled.
+
+        Also calibrates the tick against wall clock: the EWMA of the
+        gap between consecutive serves is what converts tick-denominated
+        ``retry_after`` hints into the milliseconds clients actually
+        sleep (the hints are *produced* in virtual ticks — see
+        :class:`TokenBucket` — but *consumed* as wall-clock backoff).
+        """
+        now = self._clock()
+        last = self._last_served_at
+        self._last_served_at = now
         self.tick += 1
+        if last is None:
+            return
+        dt = min(now - last, self.TICK_CLAMP_S)
+        if dt < 0:
+            return
+        if self.tick_s is None:
+            self.tick_s = dt
+        else:
+            self.tick_s += self.TICK_EWMA_ALPHA * (dt - self.tick_s)
+
+    def ticks_to_ms(self, ticks: int) -> int:
+        """Convert a tick-denominated hint to wall-clock milliseconds.
+
+        Uses the measured seconds-per-tick when available, else the
+        nominal fallback.  Always >= 1 ms so a REJECT can never carry a
+        zero hint (the wire flag means "I have a hint").
+        """
+        tick_s = self.tick_s if self.tick_s is not None else self.FALLBACK_TICK_S
+        return max(1, round(ticks * tick_s * 1000))
 
     def observe_sweep(self, pending: int) -> None:
         self.tracker.observe(pending)

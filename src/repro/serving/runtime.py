@@ -175,6 +175,12 @@ def admit_message(config, frame_hw: Tuple[int, int]) -> wire.Admit:
     cross: latency/network simulation, message-size accounting and
     forced delays are client-side knobs the replies do not depend on.
     """
+    if getattr(config, "teacher_arch", "oracle") != "oracle":
+        raise ValueError(
+            f"the ADMIT frame cannot describe a {config.teacher_arch!r} "
+            "teacher (wire v4 carries only the oracle's noise field); "
+            "blueprint non-oracle sessions at server spawn instead"
+        )
     distill = config.distill
     return wire.Admit(
         student_width=config.student_width,
@@ -200,14 +206,16 @@ class AdmissionError(RuntimeError):
     callers can branch on :attr:`code` (e.g. retry elsewhere on
     ``capacity``, give up on ``malformed-blueprint``).  Load-induced
     refusals (``capacity``, ``overloaded``) are :attr:`retryable` and
-    may carry a server-side :attr:`retry_after` hint in ticks — the
-    attach path's bounded retry loop honours both.
+    may carry a server-side :attr:`retry_after` hint in wall-clock
+    milliseconds (the server converts its internal tick-denominated
+    hints at REJECT-encode time using its measured seconds-per-tick) —
+    the attach path's bounded retry loop honours both.
     """
 
     def __init__(self, reject: wire.Reject, context: str = "admission") -> None:
         detail = f": {reject.detail}" if reject.detail else ""
         after = (
-            f", retry after {reject.retry_after} ticks"
+            f", retry after {reject.retry_after} ms"
             if reject.retry_after is not None else ""
         )
         super().__init__(
@@ -275,6 +283,17 @@ class ServerRuntime:
         receive budgets, idle-session reaping).  ``None`` — the default
         — is byte-for-byte the pre-v4 server: no tracker, no budget, no
         reaper, bit-identical RunStats.
+    batch:
+        Coalesce the key frames that arrive within one poll sweep into
+        batched teacher inference (gather → batch → scatter; see
+        :class:`~repro.serving.batched.BatchedTeacher`): frames are
+        grouped by teacher identity, weight version and geometry, each
+        group's distinct frames run as one stacked forward through the
+        engine's per-sample-statistics serve plans, and replies fan
+        back out in ascending-session order.  Every route is
+        bit-identical to the per-session serve, so this only changes
+        cost; ``False`` restores the serve-inline-per-connection PR-6
+        path exactly.
     """
 
     def __init__(
@@ -285,6 +304,8 @@ class ServerRuntime:
         max_sessions: Optional[int] = None,
         admit: bool = True,
         overload=None,
+        batch: bool = True,
+        gather_window_s: float = 0.05,
     ) -> None:
         if not blueprints and not admit:
             raise ValueError(
@@ -309,7 +330,32 @@ class ServerRuntime:
             if share_work and (admit or len(self.blueprints) > 1)
             else None
         )
-        self._shared_teacher = None
+        #: Shared teacher instances keyed by (arch, width, seed) spec.
+        self._shared_teachers: Dict[tuple, Any] = {}
+        self.batch = batch
+        #: How long a gathered cohort waits for stragglers before it is
+        #: served.  A cohort covering every live frame-sending session
+        #: is served immediately (the common case once a broadcast
+        #: population is in phase); otherwise the hold gives clients
+        #: still computing their segment a chance to join — and because
+        #: the cohort's replies fan out together, one held cohort
+        #: re-synchronises a population that serve latency had pulled
+        #: out of phase.  The default is sized to an inter-key-frame
+        #: client segment; it only costs latency when sessions are
+        #: genuinely staggered, and bit-identity holds for any cohort
+        #: composition.  Overload-armed runtimes ignore the window
+        #: entirely (same-sweep arrivals still batch): untrusted
+        #: populations with divergent strides would pay the hold as
+        #: pure probe latency.
+        self.gather_window_s = gather_window_s
+        from repro.serving.batched import BatchedTeacher
+
+        self._batched_teacher = BatchedTeacher() if batch else None
+        #: Gather/batch/scatter sweep statistics ("cohort" = the key
+        #: frames one poll sweep coalesced into batched inference).
+        self.serve_counters: Dict[str, int] = {
+            "cohorts": 0, "cohort_frames": 0, "max_cohort": 0,
+        }
         self._sessions: Dict[int, _LiveSession] = {}
         self._ended: set = set()
         #: Blueprinted ids that have not ended yet — the runtime's
@@ -335,17 +381,31 @@ class ServerRuntime:
 
     # ------------------------------------------------------------------
     def _teacher_for(self, config):
-        """One teacher for the whole runtime where that is provably
-        identical to per-session teachers (the zero-noise oracle is
-        stateless); noisy oracles hold RNG state and stay per-session,
-        matching the independent teachers of an in-process pool."""
-        from repro.models.teacher import OracleTeacher
+        """One teacher per *spec* for the whole runtime where that is
+        provably identical to per-session teachers: the zero-noise
+        oracle is stateless, and a neural teacher is deterministic from
+        ``(width, seed)`` and never trained at serve time — so every
+        session describing the same spec shares one instance (which is
+        also what lets the batched sweep group their key frames by
+        teacher identity).  Noisy oracles hold RNG state and stay
+        per-session, matching the independent teachers of an
+        in-process pool.
+        """
+        from repro.runtime.session import build_teacher
 
-        if config.teacher_boundary_noise == 0.0:
-            if self._shared_teacher is None:
-                self._shared_teacher = OracleTeacher(0.0)
-            return self._shared_teacher
-        return OracleTeacher(config.teacher_boundary_noise)
+        arch = getattr(config, "teacher_arch", "oracle")
+        if arch == "oracle" and config.teacher_boundary_noise != 0.0:
+            return build_teacher(config)
+        key = (
+            arch,
+            getattr(config, "teacher_width", None),
+            getattr(config, "teacher_seed", None),
+        )
+        teacher = self._shared_teachers.get(key)
+        if teacher is None:
+            teacher = build_teacher(config)
+            self._shared_teachers[key] = teacher
+        return teacher
 
     def _at_capacity(self) -> bool:
         return (
@@ -353,15 +413,31 @@ class ServerRuntime:
             and len(self._sessions) >= self.max_sessions
         )
 
-    #: ``retry_after`` stamped on capacity REJECTs when no overload
-    #: controller is configured: the bucket-free server still gives
-    #: refused clients a typed hint instead of silence.
+    #: ``retry_after`` (in ticks, pre-conversion) stamped on capacity
+    #: REJECTs when no overload controller is configured: the
+    #: bucket-free server still gives refused clients a typed hint
+    #: instead of silence.
     _DEFAULT_CAPACITY_HINT = 64
+
+    def _hint_ms(self, ticks: int) -> int:
+        """Convert a tick-denominated hint to the wire's milliseconds.
+
+        Hints are *produced* on the virtual tick clock (deterministic
+        admission control) but *consumed* as wall-clock backoff by the
+        client retry loop, so the boundary owns the unit conversion:
+        the controller's measured seconds-per-tick EWMA when one is
+        configured, the nominal fallback otherwise.
+        """
+        if self._overload is not None:
+            return self._overload.ticks_to_ms(ticks)
+        from repro.serving.overload import OverloadController
+
+        return max(1, round(ticks * OverloadController.FALLBACK_TICK_S * 1000))
 
     def _capacity_hint(self) -> int:
         if self._overload is not None:
-            return self._overload.capacity_hint()
-        return self._DEFAULT_CAPACITY_HINT
+            return self._hint_ms(self._overload.capacity_hint())
+        return self._hint_ms(self._DEFAULT_CAPACITY_HINT)
 
     def _start_session(self, session_id: int, connection,
                        blueprint: SessionBlueprint) -> None:
@@ -428,7 +504,7 @@ class ServerRuntime:
                 connection.send_tagged(0, wire.Reject(
                     0, wire.REJECT_OVERLOADED,
                     "admission token bucket is empty",
-                    retry_after=hint,
+                    retry_after=self._hint_ms(hint),
                 ))
                 return
         if self._at_capacity():
@@ -481,45 +557,136 @@ class ServerRuntime:
         elif isinstance(msg, wire.Bye):
             self._end_session(session_id)
         elif isinstance(msg, tuple):
-            live = self._sessions.get(session_id)
-            if live is None:
-                raise RuntimeError(
-                    f"key frame for session {session_id}, which is not open"
-                )
+            live = self._require_session(session_id)
             frame, label = msg
             live.last_active = time.monotonic()
-            ctl = self._overload
-            budget = (
-                None if ctl is None
-                else ctl.degraded_budget(live.server.config.max_updates)
-            )
-            if budget is None:
-                # The pristine path — bit-identical to an in-process
-                # run, taken always when overload control is off and
-                # whenever the load level is 0 with it on.
-                reply, _ = live.server.handle_key_frame(frame, label)
-            else:
-                # Degraded serve: fewer distillation steps, and the
-                # reported metric floored so the client's Algorithm-2
-                # stride policy stretches its stride — load shed at the
-                # source, recovering when the tracker's level drops.
-                reply, _ = live.server.handle_key_frame(
-                    frame, label, max_updates=budget
-                )
-                reply = dataclasses.replace(
-                    reply,
-                    metric=ctl.degraded_metric(
-                        reply.metric, live.server.config.threshold
-                    ),
-                )
-            connection.send_tagged(session_id, reply)
-            live.frames_served += 1
+            self._serve_key_frame(connection, session_id, live, frame, label)
         else:
             raise RuntimeError(
                 f"multiplexed server cannot handle {type(msg).__name__}"
             )
         if self._overload is not None:
             self._overload.served()
+
+    def _require_session(self, session_id: int) -> "_LiveSession":
+        live = self._sessions.get(session_id)
+        if live is None:
+            raise RuntimeError(
+                f"key frame for session {session_id}, which is not open"
+            )
+        return live
+
+    def _serve_key_frame(self, connection, session_id: int, live, frame,
+                         label, pseudo_label=None) -> None:
+        """The per-session half of one key-frame serve: distillation,
+        degradation, reply.  ``pseudo_label`` is the teacher output when
+        the batched sweep computed it already; ``None`` runs the
+        session's own teacher inline (the PR-6 path)."""
+        ctl = self._overload
+        budget = (
+            None if ctl is None
+            else ctl.degraded_budget(live.server.config.max_updates)
+        )
+        if budget is None:
+            # The pristine path — bit-identical to an in-process
+            # run, taken always when overload control is off and
+            # whenever the load level is 0 with it on.
+            reply, _ = live.server.handle_key_frame(
+                frame, label, pseudo_label=pseudo_label
+            )
+        else:
+            # Degraded serve: fewer distillation steps, and the
+            # reported metric floored so the client's Algorithm-2
+            # stride policy stretches its stride — load shed at the
+            # source, recovering when the tracker's level drops.
+            reply, _ = live.server.handle_key_frame(
+                frame, label, max_updates=budget, pseudo_label=pseudo_label
+            )
+            reply = dataclasses.replace(
+                reply,
+                metric=ctl.degraded_metric(
+                    reply.metric, live.server.config.threshold
+                ),
+            )
+        connection.send_tagged(session_id, reply)
+        live.frames_served += 1
+
+    def _cohort_ripe(self, cohort, cohort_deadline, framers) -> bool:
+        """Whether the gathered cohort should be served now.
+
+        Ripe when every live frame-sending session is represented (the
+        whole lockstep fleet has arrived — waiting longer buys nothing)
+        or the straggler window has expired.  Sessions that never sent
+        a FRAME (a never-BYE ghost under attack, a joiner still
+        pre-training) do not gate ripeness: they would hold every
+        honest reply for the full window.
+        """
+        return (
+            len({entry[0] for entry in cohort})
+            >= sum(1 for sid in self._sessions if sid in framers)
+            or time.monotonic() >= cohort_deadline
+        )
+
+    def _serve_cohort(self, cohort, closed: set) -> None:
+        """Scatter phase of one batched sweep.
+
+        ``cohort`` holds ``(session_id, connection index, connection,
+        live, frame, label)`` for every key frame the sweep gathered.
+        Teacher inference runs first, batched across the whole cohort
+        (grouped by teacher identity + weight version + geometry — see
+        :class:`~repro.serving.batched.BatchedTeacher`); distillation
+        and replies then proceed per session in deterministic
+        ascending-session order.  Any order is provably equivalent —
+        each session's serve depends only on its own state and the
+        shared work cache, whose memoised outcomes are order-independent
+        — but a fixed order keeps scheduling deterministic.
+
+        Degraded budgets are computed here, after the gather: identical
+        to computing them inline because the load tracker's level only
+        moves at sweep boundaries.
+        """
+        ctl = self._overload
+        recv_budget_s = None if ctl is None else ctl.config.recv_budget_s
+        counters = self.serve_counters
+        counters["cohorts"] += 1
+        counters["cohort_frames"] += len(cohort)
+        counters["max_cohort"] = max(counters["max_cohort"], len(cohort))
+        items = [
+            (live.server.teacher, live.server.work_version, frame, label)
+            for _sid, _index, _connection, live, frame, label in cohort
+        ]
+        labels, _routes = self._batched_teacher.infer(items)
+        for pos in sorted(range(len(cohort)), key=lambda p: cohort[p][0]):
+            session_id, index, connection, live, frame, label = cohort[pos]
+            if index in closed or session_id not in self._sessions:
+                # An earlier cohort member's reply write blew the send
+                # budget and tore this connection (and its sessions)
+                # down mid-scatter; the client is gone, not waiting.
+                continue
+            try:
+                self._serve_key_frame(
+                    connection, session_id, live, frame, label,
+                    pseudo_label=labels[pos],
+                )
+            except TimeoutError:
+                if recv_budget_s is None:
+                    raise
+                self._teardown_connection(index, connection, closed,
+                                          "send-budget")
+                continue
+            if ctl is not None:
+                ctl.served()
+
+    def route_counters(self) -> Dict[str, int]:
+        """Cohort statistics merged with the batched teacher's route
+        counters (``predicts``/``batch_runs``/``batched_frames``/
+        ``deduped_frames``/``single_frames``) — how the sweep batching
+        actually served key frames.  With ``batch=False`` only the
+        (all-zero) cohort statistics appear."""
+        counters = dict(self.serve_counters)
+        if self._batched_teacher is not None:
+            counters.update(self._batched_teacher.counters)
+        return counters
 
     # ------------------------------------------------------------------
     def _teardown_connection(self, index: int, connection, closed: set,
@@ -614,7 +781,12 @@ class ServerRuntime:
         sweep of the loop first admits any pending connection, then
         visits every open connection in arrival order and serves at
         most one message from each — fair, deterministic, no threads.
-        Returns key frames served per session id.
+        In batch mode (the default) the sweep is gather → batch →
+        scatter: key frames are collected while the sweep visits
+        connections, coalesced into batched teacher inference at the
+        sweep's end (:meth:`_serve_cohort`), and replied to in
+        ascending-session order.  Returns key frames served per
+        session id.
         """
         connections: List[Any] = []
         closed: set = set()
@@ -630,6 +802,22 @@ class ServerRuntime:
         next_reap = (
             time.monotonic() + reap_idle_s if reap_idle_s is not None else None
         )
+        #: The gathered key frames (batch mode): emptied into
+        #: :meth:`_serve_cohort` when the cohort is ripe — immediately
+        #: once every live frame-sending session has one queued, else after a
+        #: short straggler window (clients in broadcast lockstep arrive
+        #: within ~ms of each other; the window is small next to one
+        #: key-frame serve, and bit-identity holds for any cohort
+        #: composition, so the heuristic only moves the batching win).
+        cohort: List[tuple] = []
+        cohort_deadline: Optional[float] = None
+        #: Session ids that have ever sent a FRAME.  Cohort ripeness
+        #: counts only these: an admitted session that never serves key
+        #: frames (a never-BYE ghost under attack, a joiner still
+        #: pre-training) must not hold every probe's cohort open for
+        #: the full straggler window.  Ids are never reused, so the set
+        #: only grows; ripeness intersects it with the live table.
+        framers: set = set()
         while not self._quiesced(connections, closed, expected):
             progressed = False
             served_this_sweep = 0
@@ -685,6 +873,40 @@ class ServerRuntime:
                     progressed = True
                     continue
                 conn_active[index] = time.monotonic()
+                if self.batch and isinstance(msg, tuple):
+                    # Gather: key frames wait for the end of the sweep
+                    # so the whole cohort can batch through one teacher
+                    # forward; control frames stay inline below.
+                    live = self._require_session(session_id)
+                    live.last_active = conn_active[index]
+                    frame, label = msg
+                    cohort.append(
+                        (session_id, index, connection, live, frame, label)
+                    )
+                    framers.add(session_id)
+                    if cohort_deadline is None:
+                        # An overload-armed runtime never holds a
+                        # cohort: the straggler window is a throughput
+                        # optimisation for a cooperative lockstep
+                        # fleet, and untrusted populations with
+                        # divergent strides would pay it as pure probe
+                        # latency (same-sweep arrivals still batch).
+                        window = (
+                            0.0 if ctl is not None else self.gather_window_s
+                        )
+                        cohort_deadline = time.monotonic() + window
+                    if self._cohort_ripe(cohort, cohort_deadline, framers):
+                        # Ripe mid-sweep (every live framer represented,
+                        # or a zero/expired window): serve NOW rather
+                        # than after the remaining connections poll — a
+                        # blocking slow peer later in the sweep must not
+                        # add its recv budget to this reply's latency.
+                        self._serve_cohort(cohort, closed)
+                        cohort = []
+                        cohort_deadline = None
+                    served_this_sweep += 1
+                    progressed = True
+                    continue
                 try:
                     self._handle(connection, session_id, msg)
                 except TimeoutError:
@@ -696,6 +918,12 @@ class ServerRuntime:
                                               "send-budget")
                 served_this_sweep += 1
                 progressed = True
+            if cohort and self._cohort_ripe(cohort, cohort_deadline, framers):
+                # Batch + scatter: one stacked teacher inference per
+                # weight-equal group, replies in ascending-session order.
+                self._serve_cohort(cohort, closed)
+                cohort = []
+                cohort_deadline = None
             if ctl is not None:
                 ctl.observe_sweep(served_this_sweep)
             if next_reap is not None and time.monotonic() >= next_reap:
@@ -727,12 +955,34 @@ class ServerRuntime:
 
 
 def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
-                   max_sessions, admit, overload=None) -> None:
-    """Server-process entry point for :func:`start_server`."""
-    ServerRuntime(
+                   max_sessions, admit, overload=None, batch=True,
+                   gather_window_s=0.05, report_conn=None) -> None:
+    """Server-process entry point for :func:`start_server`.
+
+    ``report_conn`` (a pipe back to the spawning process) receives one
+    final report — frames served, batched-serve route counters, typed
+    teardowns — so benches and tests can read the runtime's accounting
+    without sharing memory with it.
+    """
+    runtime = ServerRuntime(
         blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
         max_sessions=max_sessions, admit=admit, overload=overload,
-    ).run(listener)
+        batch=batch, gather_window_s=gather_window_s,
+    )
+    try:
+        runtime.run(listener)
+    finally:
+        if report_conn is not None:
+            try:
+                report_conn.send({
+                    "frames_served": dict(runtime.frames_served),
+                    "serve_counters": runtime.route_counters(),
+                    "teardowns": dict(runtime.teardowns),
+                })
+            except (BrokenPipeError, OSError):
+                pass  # the owner died first; accounting dies with it
+            finally:
+                report_conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -988,12 +1238,19 @@ class SessionTicket:
 class ServerHandle:
     """Owner's view of a spawned :class:`ServerRuntime` process."""
 
-    def __init__(self, transport: str, link, process, n_sessions: int) -> None:
+    def __init__(self, transport: str, link, process, n_sessions: int,
+                 report_conn=None) -> None:
         self.transport = transport
         self.link = link
         self.process = process
         self.n_sessions = n_sessions
         self._parent_connection: Optional[MuxConnection] = None
+        self._report_conn = report_conn
+        #: The runtime's final accounting (frames served, batched-serve
+        #: route counters, typed teardowns), populated by :meth:`close`
+        #: once the server process has reported; ``None`` before then
+        #: or when the server died without reporting.
+        self.runtime_report: Optional[Dict[str, Any]] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -1069,6 +1326,18 @@ class ServerHandle:
             if self.process.is_alive():
                 self.process.terminate()
                 self.process.join(timeout=5.0)
+        if self._report_conn is not None:
+            try:
+                # The runtime sends its report on exit; by this point
+                # the process has been joined, so the read is a drain,
+                # not a wait.
+                if self._report_conn.poll(1.0):
+                    self.runtime_report = self._report_conn.recv()
+            except (EOFError, OSError):
+                pass  # died without reporting — the report stays None
+            finally:
+                self._report_conn.close()
+                self._report_conn = None
         self.link.close()
 
     def __enter__(self) -> "ServerHandle":
@@ -1087,6 +1356,8 @@ def start_server(
     max_sessions: Optional[int] = None,
     admit: bool = True,
     overload=None,
+    batch: bool = True,
+    gather_window_s: float = 0.05,
     **options,
 ) -> ServerHandle:
     """Spawn one multiplexing server process.
@@ -1097,14 +1368,22 @@ def start_server(
     blueprinted session or ADMIT a new one (``blueprints`` may be
     empty for a pure-admission server).  ``max_sessions`` caps the
     concurrently open sessions (REJECT past it); ``admit=False``
-    restores the fixed-at-spawn PR-4 behaviour.  ``options`` pass
-    through to the transport's ``serve_many`` (ring geometry,
-    timeouts).
+    restores the fixed-at-spawn PR-4 behaviour; ``batch=False``
+    restores per-session inline key-frame serves and
+    ``gather_window_s`` tunes how long a partial cohort waits for
+    stragglers (see :class:`ServerRuntime`).  ``options`` pass through
+    to the transport's ``serve_many`` (ring geometry, timeouts).
+
+    The returned handle's :attr:`~ServerHandle.runtime_report` (read at
+    :meth:`~ServerHandle.close`) carries the runtime's final accounting
+    — frames served, batched-serve route counters, typed teardowns.
     """
     import functools
+    import multiprocessing as mp
 
     from repro.transport import registry
 
+    report_recv, report_send = mp.Pipe(duplex=False)
     target = functools.partial(
         _runtime_entry,
         blueprints=list(blueprints),
@@ -1113,18 +1392,27 @@ def start_server(
         max_sessions=max_sessions,
         admit=admit,
         overload=overload,
+        batch=batch,
+        gather_window_s=gather_window_s,
+        report_conn=report_send,
     )
-    link, process = registry.serve_many(transport, target, n_clients, **options)
-    return ServerHandle(transport, link, process, len(blueprints))
+    try:
+        link, process = registry.serve_many(
+            transport, target, n_clients, **options
+        )
+    except BaseException:
+        report_recv.close()
+        report_send.close()
+        raise
+    report_send.close()
+    return ServerHandle(
+        transport, link, process, len(blueprints), report_conn=report_recv
+    )
 
 
 # ----------------------------------------------------------------------
 # build_session attachment (called from repro.runtime.session)
 # ----------------------------------------------------------------------
-#: Seconds per server tick assumed by the retry loop when converting a
-#: REJECT's ``retry_after`` hint into a sleep (a tick is one served
-#: message — a few milliseconds of distillation at bench scale).
-_RETRY_TICK_S = 0.005
 #: Ceiling on any single retry sleep.
 _RETRY_SLEEP_MAX_S = 1.0
 
@@ -1133,11 +1421,13 @@ def _admit_with_retry(connection, config, frame_hw, attach):
     """ADMIT with the bounded, seeded retry loop of the attach points.
 
     Each retryable refusal (``AdmissionError.retryable``) sleeps the
-    server's ``retry_after`` hint converted to seconds, jittered by a
-    client-local seeded RNG (so a herd of refused clients de-bunches
-    deterministically), then re-ADMITs — at most ``admit_retries``
-    times, never spinning.  Structural refusals and exhausted budgets
-    raise the last :class:`AdmissionError` unchanged.
+    server's ``retry_after`` hint — wall-clock milliseconds, already
+    converted server-side from its virtual tick clock with a measured
+    seconds-per-tick — jittered by a client-local seeded RNG (so a herd
+    of refused clients de-bunches deterministically), then re-ADMITs —
+    at most ``admit_retries`` times, never spinning.  Structural
+    refusals and exhausted budgets raise the last
+    :class:`AdmissionError` unchanged.
     """
     import random
 
@@ -1151,8 +1441,8 @@ def _admit_with_retry(connection, config, frame_hw, attach):
             if attempt >= retries or not exc.retryable:
                 raise
             attempt += 1
-            hint = exc.retry_after if exc.retry_after is not None else 1
-            sleep_s = min(hint * _RETRY_TICK_S, _RETRY_SLEEP_MAX_S)
+            hint_ms = exc.retry_after if exc.retry_after is not None else 1
+            sleep_s = min(hint_ms / 1000.0, _RETRY_SLEEP_MAX_S)
             time.sleep(sleep_s * (0.5 + rng.random()))
 
 

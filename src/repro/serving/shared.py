@@ -71,6 +71,18 @@ class SharedDistillation:
             server._shared_work_version = version
         return version
 
+    def version(self, server) -> str:
+        """Public read of the server's work version (forcing the lazy
+        seed digest if the chain has not started).
+
+        Forcing is safe at any time: each server's chain advances only
+        through its own serves, so reading it between serves returns
+        exactly the value the next :meth:`distill` would derive.  The
+        serving runtime uses this as the weight-equality grouping key
+        for batched teacher inference.
+        """
+        return self._version(server)
+
     # ------------------------------------------------------------------
     def distill(self, server, frame: np.ndarray, pseudo_label: np.ndarray):
         """Serve one key frame's training, memoised across servers."""

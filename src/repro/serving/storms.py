@@ -113,20 +113,26 @@ def _churn_storm(rng: random.Random, seed: int, frames: int) -> StormPlan:
 def _thundering_herd(rng: random.Random, seed: int, frames: int) -> StormPlan:
     jobs = tuple(
         (
-            round(rng.uniform(0.0, 0.05), 3),
+            round(rng.uniform(0.0, 0.02), 3),
             _session_config(0.25),
             _HW,
             "fixed-people",
             max(2, frames + rng.randrange(-1, 2)),
             f"herd-{i}",
         )
-        for i in range(10)
+        for i in range(14)
     )
     # Rate 0.25: the burst admits 3, the rest are REJECTed `overloaded`
     # at onset and de-bunch through the seeded retry loop.  Rejected
     # ADMITs advance the tick clock themselves, so a drained bucket
     # refills under retry pressure (~4 refusals per token) rather than
     # deadlocking an idle server whose clock otherwise stands still.
+    # Fourteen clients in a 20 ms dial window with a 3-retry budget:
+    # sized to outnumber capacity x retries even though batched sweeps
+    # (cohort dedup + shared distillation) cycle herd sessions through
+    # the three slots far faster than the PR-6 inline path did — the
+    # herd must still overflow the retry budget for the storm to prove
+    # admission control sheds, not merely delays.
     return StormPlan(
         name="thundering-herd", seed=seed, jobs=jobs,
         loris_slots=(), ghost_slots=(), max_sessions=3,
@@ -135,7 +141,7 @@ def _thundering_herd(rng: random.Random, seed: int, frames: int) -> StormPlan:
             degrade=True, recv_budget_s=5.0, reap_idle_s=20.0,
             capacity_retry_after=32,
         ),
-        admit_retries=6, timeout_s=240.0,
+        admit_retries=3, timeout_s=240.0,
     )
 
 

@@ -272,6 +272,93 @@ class TestOverloadController:
                 OverloadConfig(**kwargs)
 
 
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTickCalibration:
+    """The retry_after unit fix: ticks are *produced* by the bucket but
+    *consumed* as wall-clock backoff, so the controller measures
+    seconds-per-tick and converts at REJECT-encode time."""
+
+    def test_tick_s_converges_to_the_serve_gap(self):
+        clock = FakeClock()
+        ctl = OverloadController(OverloadConfig(), clock=clock)
+        assert ctl.tick_s is None  # nothing measured yet
+        for _ in range(60):
+            ctl.served()
+            clock.advance(0.02)
+        assert ctl.tick_s == pytest.approx(0.02, rel=1e-6)
+
+    def test_idle_stretch_is_clamped_not_poisonous(self):
+        clock = FakeClock()
+        ctl = OverloadController(OverloadConfig(), clock=clock)
+        ctl.served()
+        clock.advance(0.01)
+        ctl.served()
+        assert ctl.tick_s == pytest.approx(0.01)
+        clock.advance(3600.0)  # one quiet hour
+        ctl.served()
+        # The gap enters as the 1 s clamp, not 3600 s.
+        assert ctl.tick_s <= 0.01 + OverloadController.TICK_EWMA_ALPHA * 1.0
+
+    def test_backwards_clock_gap_is_ignored(self):
+        clock = FakeClock()
+        ctl = OverloadController(OverloadConfig(), clock=clock)
+        ctl.served()
+        clock.advance(0.01)
+        ctl.served()
+        before = ctl.tick_s
+        clock.advance(-5.0)
+        ctl.served()
+        assert ctl.tick_s == before
+
+    def test_ticks_to_ms_uses_fallback_then_measurement(self):
+        clock = FakeClock()
+        ctl = OverloadController(OverloadConfig(), clock=clock)
+        nominal = OverloadController.FALLBACK_TICK_S
+        assert ctl.ticks_to_ms(64) == round(64 * nominal * 1000)
+        assert ctl.ticks_to_ms(0) == 1  # a REJECT hint is never zero
+        for _ in range(80):
+            ctl.served()
+            clock.advance(0.1)
+        assert ctl.ticks_to_ms(10) == pytest.approx(1000, abs=5)
+
+    def test_hint_is_honest_in_wall_clock(self):
+        """Sleep the advertised milliseconds while the server keeps
+        serving at its measured rate and the re-ADMIT must succeed:
+        hint_ms / (ms per tick) ticks elapse during the sleep, which is
+        exactly the tick-denominated refill the bucket asked for."""
+        dt = 0.02
+        clock = FakeClock()
+        ctl = OverloadController(
+            OverloadConfig(admission_rate=0.25, admission_burst=2.0),
+            clock=clock,
+        )
+        # Calibrate: serve steadily at dt seconds per message.
+        for _ in range(100):
+            ctl.served()
+            clock.advance(dt)
+        # Drain the burst, then get refused with a hint.
+        while ctl.admit() is None:
+            pass
+        hint_ticks = ctl.bucket.try_take(ctl.tick)
+        hint_ms = ctl.ticks_to_ms(hint_ticks)
+        # A client sleeping hint_ms while the server serves one message
+        # every dt seconds sees this many ticks pass:
+        for _ in range(round(hint_ms / 1000.0 / dt)):
+            ctl.served()
+            clock.advance(dt)
+        assert ctl.admit() is None
+
+
 class TestStormPlans:
     @pytest.mark.parametrize("name", STORM_NAMES)
     def test_plans_deterministic_per_seed(self, name):

@@ -9,7 +9,7 @@ import pytest
 
 from repro import engine
 from repro.models.student import StudentNet
-from repro.serving.batched import BatchedPredictor
+from repro.serving.batched import BatchedPredictor, BatchedTeacher
 
 #: (height, width) geometries: the experiment default, the fast test
 #: size, and odd (non-power-of-two) spatial sizes that force BLAS onto
@@ -155,3 +155,189 @@ class TestBatchedPredictor:
         preds, _ = BatchedPredictor().predict(items)
         for (c, f), p in zip(items, preds):
             np.testing.assert_array_equal(p, c.student.predict(f))
+
+    def test_counters_sum_even_after_midway_exception(self):
+        """The route-counter invariant the bench reports depend on:
+        ``predicts == batched + deduped + single`` at every point —
+        including after an exception aborts a call midway (the old
+        code counted a duplicate at gather time, so its representative
+        failing left a dedup that never produced a prediction)."""
+
+        class ExplodingStudent:
+            def __init__(self, fuse):
+                self.fuse = fuse
+
+            def predict(self, frame):
+                self.fuse -= 1
+                if self.fuse < 0:
+                    raise RuntimeError("boom")
+                return frame.sum(axis=0)
+
+            def predict_batch(self, frames):
+                raise RuntimeError("boom")
+
+        class FakeClient:
+            def __init__(self, student, weight_version):
+                self.student = student
+                self.weight_version = weight_version
+
+        def check(predictor):
+            c = predictor.counters
+            assert c["predicts"] == (
+                c["batched_frames"] + c["deduped_frames"] + c["single_frames"]
+            )
+
+        frames = random_frames(2, (8, 12))
+        # Duplicates whose representative's predict explodes: no frame
+        # may be recorded served.
+        student = ExplodingStudent(fuse=0)
+        items = [(FakeClient(student, "v1"), frames[0]) for _ in range(3)]
+        predictor = BatchedPredictor(batch=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            predictor.predict(items)
+        check(predictor)
+        assert predictor.counters["deduped_frames"] == 0
+
+        # A batch run that explodes after some singles resolved.
+        student = ExplodingStudent(fuse=1)
+        items = [(FakeClient(student, None), frames[0]),
+                 (FakeClient(student, "v1"), frames[0]),
+                 (FakeClient(student, "v1"), frames[1])]
+        predictor = BatchedPredictor()
+        with pytest.raises(RuntimeError, match="boom"):
+            predictor.predict(items)
+        check(predictor)
+        assert predictor.counters["predicts"] == 1  # only the None-version single
+
+
+class TestTeacherBatchInference:
+    """TeacherNet's stacked inference is bit-identical per sample."""
+
+    def _teacher_and_frames(self, n=5, hw=(16, 24), width=8):
+        from repro.models.teacher import TeacherNet
+
+        rng = np.random.default_rng(11)
+        teacher = TeacherNet(width=width, seed=2)
+        frames = rng.random((n, 3, *hw))
+        return teacher, frames
+
+    def test_infer_batch_matches_per_frame_infer(self):
+        teacher, frames = self._teacher_and_frames()
+        singles = np.stack([teacher.infer(f) for f in frames])
+        np.testing.assert_array_equal(teacher.infer_batch(frames), singles)
+
+    def test_soft_infer_batch_matches_per_frame(self):
+        teacher, frames = self._teacher_and_frames(n=3)
+        singles = np.stack([teacher.soft_infer(f) for f in frames])
+        np.testing.assert_array_equal(teacher.soft_infer_batch(frames), singles)
+
+    def test_engine_disabled_fallback_is_exact(self):
+        from repro.models.teacher import TeacherNet
+
+        teacher, frames = self._teacher_and_frames(n=3)
+        with_engine = teacher.infer_batch(frames)
+        with engine.disabled():
+            fallback_teacher = TeacherNet(width=8, seed=2)
+            fallback = fallback_teacher.infer_batch(frames)
+        np.testing.assert_array_equal(with_engine, fallback)
+
+
+class TestBatchedTeacher:
+    """The runtime-side cohort labeller (gather → batch → scatter)."""
+
+    def _neural(self):
+        from repro.models.teacher import TeacherNet
+
+        return TeacherNet(width=8, seed=2)
+
+    def test_cohort_groups_by_teacher_version_and_geometry(self):
+        rng = np.random.default_rng(3)
+        teacher = self._neural()
+        small = [rng.random((3, 16, 24)) for _ in range(2)]
+        big = rng.random((3, 32, 48))
+        batched = BatchedTeacher()
+        labels, routes = batched.infer([
+            (teacher, "v1", small[0], None),
+            (teacher, "v1", small[1], None),
+            (teacher, "v1", big, None),       # other geometry: own route
+            (teacher, "v2", small[0], None),  # diverged weights: own route
+            (teacher, None, small[1], None),  # broken chain: single path
+        ])
+        assert routes[0] == routes[1] == "batch:2"
+        assert routes[2] == routes[3] == routes[4] == "single"
+        for (t, _v, frame, _l), label in zip([
+            (teacher, None, small[0], None),
+            (teacher, None, small[1], None),
+            (teacher, None, big, None),
+            (teacher, None, small[0], None),
+            (teacher, None, small[1], None),
+        ], labels):
+            np.testing.assert_array_equal(label, t.infer(frame))
+        c = batched.counters
+        assert c["predicts"] == 5
+        assert c["predicts"] == (
+            c["batched_frames"] + c["deduped_frames"] + c["single_frames"]
+        )
+
+    def test_duplicate_key_frames_share_one_inference(self):
+        rng = np.random.default_rng(4)
+        teacher = self._neural()
+        frame = rng.random((3, 16, 24))
+        batched = BatchedTeacher()
+        labels, routes = batched.infer(
+            [(teacher, "v1", frame.copy(), None) for _ in range(3)]
+        )
+        assert sorted(routes) == ["dedup", "dedup", "single"]
+        assert batched.counters["deduped_frames"] == 2
+        ref = teacher.infer(frame)
+        for label in labels:
+            np.testing.assert_array_equal(label, ref)
+
+    def test_oracle_without_infer_batch_serves_per_item(self):
+        from repro.models.teacher import OracleTeacher
+
+        rng = np.random.default_rng(5)
+        teacher = OracleTeacher()
+        frames = [rng.random((3, 8, 12)) for _ in range(2)]
+        labels_in = [rng.integers(0, 4, (8, 12)) for _ in range(2)]
+        batched = BatchedTeacher()
+        labels, routes = batched.infer([
+            (teacher, "v1", frames[0], labels_in[0]),
+            (teacher, "v1", frames[1], labels_in[1]),
+        ])
+        assert routes == ["single", "single"]
+        assert batched.counters["batch_runs"] == 0
+        for got, want in zip(labels, labels_in):
+            np.testing.assert_array_equal(got, want)
+
+    def test_label_rides_the_dedup_key(self):
+        """Equal frames with different labels must not share an
+        inference (the oracle's output depends on the label)."""
+        from repro.models.teacher import OracleTeacher
+
+        rng = np.random.default_rng(6)
+        teacher = OracleTeacher()
+        frame = rng.random((3, 8, 12))
+        la, lb = (rng.integers(0, 4, (8, 12)) for _ in range(2))
+        batched = BatchedTeacher()
+        labels, routes = batched.infer([
+            (teacher, "v1", frame.copy(), la),
+            (teacher, "v1", frame.copy(), lb),
+        ])
+        assert routes == ["single", "single"]
+        np.testing.assert_array_equal(labels[0], la)
+        np.testing.assert_array_equal(labels[1], lb)
+
+    def test_counters_sum_even_after_midway_exception(self):
+        class ExplodingTeacher:
+            def infer(self, frame, label=None):
+                raise RuntimeError("boom")
+
+        teacher = ExplodingTeacher()
+        frame = np.ones((3, 8, 12))
+        batched = BatchedTeacher()
+        with pytest.raises(RuntimeError, match="boom"):
+            batched.infer([(teacher, "v1", frame, None)] * 3)
+        c = batched.counters
+        assert c["predicts"] == 0
+        assert c["deduped_frames"] == 0

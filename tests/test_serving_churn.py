@@ -80,6 +80,52 @@ class TestChurnProcesses:
             )
 
 
+class TestChurnTimesBatching:
+    """ISSUE 7: sweep batching under churn.
+
+    Mid-run admission lands sessions into sweeps already gathering
+    cohorts, early departure removes a session between gather and
+    serve of later cohorts, and a weight-diverged session (different
+    student seed) must fall back to its own group — all bit-identical
+    to in-process references, batched or not.
+    """
+
+    @pytest.mark.parametrize("transport,batch",
+                             [("shm", True), ("shm", False), ("socket", True)])
+    def test_churned_population_bit_identical(self, transport, batch):
+        diverged = _config(width=0.25, student_seed=5)
+        jobs = [
+            # Two broadcast twins that can actually share cohorts...
+            (0.0, _config(), _HW, "fixed-people", 10, "a"),
+            (0.0, _config(), _HW, "fixed-people", 10, "b"),
+            # ...a weight-diverged session (separate group, fallback)...
+            (0.2, diverged, _HW, "fixed-people", 8, "c"),
+            # ...a late joiner that departs early (mid-cohort BYE).
+            (0.6, _config(width=0.3), _HW, "fixed-people", 5, "d"),
+        ]
+        handle = start_server(
+            [], transport=transport, n_clients=len(jobs), idle_timeout_s=60,
+            batch=batch,
+        )
+        try:
+            stats = run_churn_processes(handle, jobs, timeout_s=300)
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        for (got, (_, config, _, key, frames, _)) in zip(stats, jobs):
+            ref = _reference(config, frames, key)
+            assert got.signature(include_label=False) == ref.signature(
+                include_label=False
+            )
+        if batch:
+            counters = handle.runtime_report["serve_counters"]
+            assert counters["predicts"] == (
+                counters["batched_frames"] + counters["deduped_frames"]
+                + counters["single_frames"]
+            )
+            assert counters["cohort_frames"] == counters["predicts"]
+
+
 class TestAdmissionOverOneConnection:
     def test_pool_of_admitted_sessions_identical_to_inproc_pool(self):
         """N sessions negotiated over ONE shared connection (no

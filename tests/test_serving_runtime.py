@@ -131,6 +131,109 @@ class TestPooledAttachment:
         assert mux.key_frames[0].down_bytes == inproc.key_frames[0].down_bytes
 
 
+class TestBatchedSweeps:
+    """ISSUE 7: gather → batch → scatter key-frame serving.
+
+    A mixed population — identical twins (dedup/batch candidates), a
+    different student width, a neural teacher, a different frame
+    geometry — must produce bit-identical per-session ``RunStats``
+    whether sweeps are batched or not, over shm and sockets.
+    """
+
+    FRAMES = 8
+
+    def _population(self):
+        neural = dataclasses.replace(
+            _config(), teacher_arch="neural", teacher_width=16
+        )
+        wide = dataclasses.replace(_config(), student_width=0.3)
+        return [
+            (_config(), (32, 48)),   # identical twins: the broadcast pair
+            (_config(), (32, 48)),
+            (wide, (32, 48)),        # mixed width: separate weight version
+            (neural, (32, 48)),      # neural teacher: stacked infer path
+            (_config(), (36, 44)),   # mixed geometry: separate group
+        ]
+
+    def _reference_stats(self):
+        specs = [
+            SessionSpec(
+                video=make_category_video(
+                    CATEGORY_BY_KEY["fixed-people"], height=hw[0], width=hw[1]
+                ),
+                num_frames=self.FRAMES,
+                config=config,
+            )
+            for config, hw in self._population()
+        ]
+        return SessionPool(specs).run().stats
+
+    @pytest.mark.parametrize(
+        "transport,batch",
+        [("shm", True), ("shm", False), ("socket", True), ("socket", False)],
+    )
+    def test_mixed_population_bit_identical(self, transport, batch):
+        population = self._population()
+        blueprints = [SessionBlueprint(c, hw) for c, hw in population]
+        handle = start_server(
+            blueprints, transport=transport, n_clients=len(population),
+            idle_timeout_s=60, batch=batch,
+        )
+        try:
+            jobs = [
+                (config, hw, "fixed-people", self.FRAMES, f"s{i}")
+                for i, (config, hw) in enumerate(population)
+            ]
+            stats = run_client_processes(handle, jobs, timeout_s=300)
+        finally:
+            handle.close()
+        assert handle.process.exitcode == 0
+        for got, ref in zip(stats, self._reference_stats()):
+            assert got.signature(include_label=False) == ref.signature(
+                include_label=False
+            )
+
+    def test_runtime_report_surfaces_route_counters(self):
+        blueprints = [SessionBlueprint(_config(), _HW) for _ in range(3)]
+        handle = start_server(blueprints, transport="shm", n_clients=3,
+                              idle_timeout_s=60)
+        try:
+            jobs = [
+                (_config(), _HW, "fixed-people", self.FRAMES, f"s{i}")
+                for i in range(3)
+            ]
+            run_client_processes(handle, jobs, timeout_s=180)
+        finally:
+            handle.close()
+        report = handle.runtime_report
+        assert report is not None
+        counters = report["serve_counters"]
+        assert counters["predicts"] == (
+            counters["batched_frames"] + counters["deduped_frames"]
+            + counters["single_frames"]
+        )
+        assert counters["cohorts"] >= 1
+        assert counters["cohort_frames"] == counters["predicts"]
+        assert counters["max_cohort"] <= 3
+        assert sum(report["frames_served"].values()) == counters["predicts"]
+
+    def test_unbatched_runtime_reports_no_cohorts(self):
+        handle = start_server(
+            [SessionBlueprint(_config(), _HW)], transport="shm",
+            n_clients=1, idle_timeout_s=60, batch=False,
+        )
+        try:
+            run_client_processes(
+                handle, [(_config(), _HW, "fixed-people", 6, "s0")],
+                timeout_s=120,
+            )
+        finally:
+            handle.close()
+        counters = handle.runtime_report["serve_counters"]
+        assert counters["cohorts"] == 0
+        assert "predicts" not in counters  # no BatchedTeacher armed
+
+
 class TestHandshakeAndErrors:
     def test_unknown_session_is_refused(self):
         handle = start_server(
