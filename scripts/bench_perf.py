@@ -30,6 +30,12 @@ neural teacher by default and also measures the unbatched mux as an
 in-record A/B (``batch_speedup``); ``--no-batch`` serves key frames
 inline per connection (the PR-6 path) instead.
 
+``--obs`` benchmarks telemetry overhead: the serve-many deployment run
+disarmed and then with the full telemetry stack armed (metrics registry
++ span tracing + per-plan-step engine timing, server and clients),
+recording armed-over-disarmed throughput (floor-enforced >= 0.9x by
+``benchmarks/test_perf_obs.py``) and the bit-identity check across legs.
+
 Records are deduplicated on append by ``(name, pr, git_rev)`` — re-running
 a benchmark at the same revision replaces its record instead of
 stacking a duplicate; ``--migrate`` also collapses historical
@@ -55,12 +61,14 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments.perf import (  # noqa: E402
     DEFAULT_RESULTS_PATH,
     append_record,
+    format_obs_record,
     format_pool_record,
     format_record,
     format_serve_many_record,
     format_storm_record,
     format_transport_record,
     measure_engine_speedup,
+    measure_obs_overhead,
     measure_pool_throughput,
     measure_serve_many_churn,
     measure_serve_many_throughput,
@@ -118,6 +126,11 @@ def main() -> int:
                              "server, plus a no-control baseline")
     parser.add_argument("--storm-seed", type=int, default=0,
                         help="seed for --storm (default: 0)")
+    parser.add_argument("--obs", action="store_true",
+                        help="benchmark telemetry overhead: the serve-many "
+                             "deployment with metrics + tracing + engine "
+                             "timing fully armed vs disarmed (floor: armed "
+                             "throughput >= 0.9x of disarmed)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="with --storm: skip the no-control baseline "
                              "run (faster; the adversarial baselines wait "
@@ -142,6 +155,14 @@ def main() -> int:
     if args.transport:
         record = measure_transport_throughput(pr=args.pr)
         summary = format_transport_record(record)
+    elif args.obs:
+        record = measure_obs_overhead(
+            num_frames=args.frames or 32,
+            width=args.width,
+            category=args.category,
+            pr=args.pr,
+        )
+        summary = format_obs_record(record)
     elif args.storm is not None:
         record = measure_storm(
             name=args.storm,

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Distill a run's telemetry artifacts into a report (ISSUE 8).
+
+Every armed process (``REPRO_OBS``) drops an ``obs-<source>.json``
+artifact — its metrics snapshot plus its Chrome trace events — into
+``REPRO_OBS_DIR`` on the way out.  This script folds a directory of
+those artifacts into:
+
+* a per-source and merged cross-process metrics table (counters sum,
+  gauges max, histograms combine bucket-wise — see
+  :func:`repro.obs.metrics.merge_snapshots`), printed to stdout;
+* one combined Chrome trace-event JSON file (``trace.json`` in the
+  artifact directory by default) loadable in Perfetto or
+  ``chrome://tracing`` — every process's spans on one monotonic axis.
+
+Usage::
+
+    # distill artifacts an armed run already produced
+    PYTHONPATH=src python scripts/obs_report.py --dir /tmp/obs-run
+
+    # or produce them first: a small armed serve-many run
+    PYTHONPATH=src python scripts/obs_report.py --run --dir /tmp/obs-run
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import format_snapshot_table, merge_snapshots  # noqa: E402
+from repro.obs.trace import merge_traces, write_trace  # noqa: E402
+
+
+def run_armed_serve_many(directory: pathlib.Path, n_clients: int = 2,
+                         num_frames: int = 8) -> None:
+    """One small fully-armed serve-many run that drops artifacts into
+    ``directory`` — the server and every client process arm from the
+    inherited environment and export on exit."""
+    import os
+
+    from repro import obs
+    from repro.distill.config import DistillConfig
+    from repro.runtime.session import SessionConfig
+    from repro.serving.runtime import (
+        SessionBlueprint,
+        run_client_processes,
+        start_server,
+    )
+
+    config = SessionConfig(
+        distill=DistillConfig(max_updates=4, threshold=0.7,
+                              min_stride=4, max_stride=16),
+        student_width=0.25,
+        pretrain_steps=10,
+    )
+    hw = (32, 48)
+    saved = {
+        key: os.environ.get(key) for key in (obs.ENV_FEATURES, obs.ENV_DIR)
+    }
+    os.environ[obs.ENV_FEATURES] = "metrics,trace"
+    os.environ[obs.ENV_DIR] = str(directory)
+    try:
+        blueprints = [SessionBlueprint(config, hw) for _ in range(n_clients)]
+        handle = start_server(blueprints, transport="shm",
+                              n_clients=n_clients, idle_timeout_s=120)
+        try:
+            jobs = [
+                (config, hw, "fixed-people", num_frames, f"obs{i}")
+                for i in range(n_clients)
+            ]
+            run_client_processes(handle, jobs, timeout_s=180)
+        finally:
+            handle.close()
+        report = handle.runtime_report or {}
+        print(f"armed serve-many run done (server exit: "
+              f"{report.get('exit_reason')}); artifacts in {directory}")
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def load_artifacts(directory: pathlib.Path):
+    """All ``obs-*.json`` payloads in ``directory``, sorted by source."""
+    artifacts = []
+    for path in sorted(directory.glob("obs-*.json")):
+        with open(path, encoding="utf-8") as fh:
+            artifacts.append(json.load(fh))
+    return artifacts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", type=pathlib.Path, required=True,
+                        help="artifact directory (the run's REPRO_OBS_DIR)")
+    parser.add_argument("--run", action="store_true",
+                        help="first run a small fully-armed serve-many "
+                             "deployment that drops its artifacts in --dir")
+    parser.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="combined Chrome trace path "
+                             "(default: <dir>/trace.json)")
+    args = parser.parse_args()
+
+    args.dir.mkdir(parents=True, exist_ok=True)
+    if args.run:
+        run_armed_serve_many(args.dir)
+
+    artifacts = load_artifacts(args.dir)
+    if not artifacts:
+        print(f"no obs-*.json artifacts in {args.dir} "
+              "(was the run armed via REPRO_OBS with REPRO_OBS_DIR set?)",
+              file=sys.stderr)
+        return 1
+
+    snapshots = [a["snapshot"] for a in artifacts if a.get("snapshot")]
+    for snapshot in snapshots:
+        print(format_snapshot_table(snapshot))
+        print()
+    if snapshots:
+        print(format_snapshot_table(merge_snapshots(snapshots),
+                                    title="merged metrics"))
+        print()
+
+    events = merge_traces([a.get("trace") or [] for a in artifacts])
+    trace_path = args.trace_out or (args.dir / "trace.json")
+    write_trace(str(trace_path), events)
+    dropped = sum(a.get("trace_dropped", 0) for a in artifacts)
+    print(f"{len(artifacts)} artifact(s), {len(events)} trace events "
+          f"({dropped} dropped at the rings) -> {trace_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,11 @@ timeout 300 python scripts/smoke_serve_many.py
 # typed-rejected with retry hints, attackers torn down, no shm leak.
 # Hard timeout: a wedged server fails the gate, not hangs it.
 timeout 300 python scripts/smoke_storm.py
+# Observability smoke (ISSUE 8): a fully-armed serve-many run must
+# stay bit-identical to the disarmed in-process run and must yield a
+# parseable Chrome trace plus a merged cross-process metrics table.
+# Hard timeout: a telemetry-wedged server fails the gate, not hangs it.
+timeout 300 python scripts/smoke_obs.py
 # Docs smoke (ISSUE 5): the protocol spec cannot drift from wire.py
 # (the doc-sync test also runs inside the suite above; this re-run
 # keeps the gate explicit and costs under a second), and every fenced

@@ -18,9 +18,12 @@ copies its cached front-end features once per key frame).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import obs
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.engine import tracer
@@ -211,8 +214,20 @@ class CompiledPlan:
             if arr.shape != shape:
                 raise ValueError(f"plan compiled for input {shape}, got {arr.shape}")
             env[slot] = arr
-        for step in self._steps:
-            step.forward(env)
+        if obs.engine_timing():
+            # Opt-in per-step timing (REPRO_OBS=...,engine): one
+            # histogram per kernel class — where a plan's milliseconds
+            # go.  A separate loop so the default path stays branch-free
+            # per step.
+            for step in self._steps:
+                t0 = time.perf_counter()
+                step.forward(env)
+                obs.histogram(
+                    f"engine.step.{type(step).__name__}"
+                ).observe(time.perf_counter() - t0)
+        else:
+            for step in self._steps:
+                step.forward(env)
         return tuple(env[s] for s in self._output_slots)
 
 

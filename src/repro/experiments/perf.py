@@ -774,6 +774,126 @@ def measure_serve_many_churn(
     )
 
 
+def measure_obs_overhead(
+    num_clients: int = 2,
+    num_frames: int = 32,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 40,
+    transport: str = "shm",
+    frame_hw: Tuple[int, int] = _FRAME_HW,
+    pr: Optional[str] = None,
+) -> Dict:
+    """Benchmark the cost of arming the full telemetry stack (ISSUE 8).
+
+    Runs the multiplexed serve-many deployment twice — telemetry
+    disarmed (the default state every other bench measures), then with
+    *everything* armed: the metrics registry, span tracing, and the
+    per-plan-step engine timing hook, in the server and every client
+    process (via the inherited ``REPRO_OBS`` environment).  The
+    recorded ``speedup`` is armed throughput over disarmed throughput —
+    ~1.0 when the disabled-guard design holds — floor-enforced at
+    >= 0.9x by ``benchmarks/test_perf_obs.py``.  Per-session
+    ``RunStats`` are verified bit-identical across the two legs: the
+    telemetry invariant (records wall-clock, never feeds computation)
+    is part of what this bench pins down.
+    """
+    import os
+
+    from repro import obs
+    from repro.serving.runtime import (
+        SessionBlueprint,
+        run_client_processes,
+        start_server,
+    )
+    from repro.video.dataset import CATEGORY_BY_KEY
+
+    if category not in CATEGORY_BY_KEY:
+        raise KeyError(f"unknown LVS category {category!r}")
+    config = SessionConfig(
+        distill=DistillConfig(
+            max_updates=8, threshold=0.999, min_stride=2, max_stride=4
+        ),
+        student_width=width,
+        pretrain_steps=pretrain_steps,
+        teacher_arch="neural",
+    )
+    pretrained_student(width, config.student_seed, pretrain_steps, frame_hw)
+    blueprints = [SessionBlueprint(config, frame_hw) for _ in range(num_clients)]
+    jobs = [
+        (config, frame_hw, category, num_frames, f"o{index}")
+        for index in range(num_clients)
+    ]
+
+    def run_leg(env_value: Optional[str]) -> Tuple[float, list, Dict]:
+        saved = os.environ.pop(obs.ENV_FEATURES, None)
+        if env_value is not None:
+            os.environ[obs.ENV_FEATURES] = env_value
+        try:
+            start = time.perf_counter()
+            handle = start_server(
+                blueprints, transport=transport, n_clients=num_clients,
+                idle_timeout_s=120.0,
+            )
+            try:
+                stats = run_client_processes(handle, jobs, timeout_s=600.0)
+            finally:
+                handle.close()
+            wall = time.perf_counter() - start
+            return wall, stats, handle.runtime_report or {}
+        finally:
+            os.environ.pop(obs.ENV_FEATURES, None)
+            if saved is not None:
+                os.environ[obs.ENV_FEATURES] = saved
+
+    disarmed_wall, disarmed_stats, _ = run_leg(None)
+    armed_wall, armed_stats, armed_report = run_leg("metrics,trace,engine")
+
+    identical = all(
+        a.signature(include_label=False) == b.signature(include_label=False)
+        for a, b in zip(armed_stats, disarmed_stats)
+    )
+    metrics = armed_report.get("metrics") or {}
+    trace = armed_report.get("trace") or []
+    total_frames = num_clients * num_frames
+    return {
+        **record_meta("obs-overhead", pr),
+        "kind": "obs",
+        "protocol": {
+            "category": category,
+            "num_clients": num_clients,
+            "num_frames": num_frames,
+            "student_width": width,
+            "frame_hw": list(frame_hw),
+            "pretrain_steps": pretrain_steps,
+            "transport": transport,
+            "teacher": "neural",
+            "armed": "metrics,trace,engine",
+        },
+        "disarmed": {
+            "wall_time_s": round(disarmed_wall, 3),
+            "frames_per_s": round(total_frames / disarmed_wall, 3),
+        },
+        "armed": {
+            "wall_time_s": round(armed_wall, 3),
+            "frames_per_s": round(total_frames / armed_wall, 3),
+            "server_exit_reason": armed_report.get("exit_reason"),
+            "server_counters": len(metrics.get("counters", {})),
+            "server_histograms": len(metrics.get("histograms", {})),
+            "server_trace_events": len(trace),
+        },
+        # Armed throughput relative to disarmed — the telemetry
+        # overhead headline, ~1.0 when the disabled guards are honest.
+        "speedup": round(disarmed_wall / armed_wall, 3),
+        "bit_identical": identical,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
 def measure_storm(
     name: str = "thundering-herd",
     seed: int = 0,
@@ -1044,6 +1164,29 @@ def format_serve_many_record(record: Dict) -> str:
         f"{record['bit_identical']}\n"
     )
     return lines
+
+
+def format_obs_record(record: Dict) -> str:
+    """One-paragraph human summary of a telemetry-overhead record."""
+    proto = record["protocol"]
+    disarmed, armed = record["disarmed"], record["armed"]
+    return (
+        f"obs perf — {proto['num_clients']} client processes x "
+        f"{proto['num_frames']} frames ({proto['category']}, width "
+        f"{proto['student_width']}, {proto['transport']}), telemetry "
+        f"armed: {proto['armed']}:\n"
+        f"  disarmed: {disarmed['wall_time_s']:.2f}s "
+        f"({disarmed['frames_per_s']:.1f} f/s)\n"
+        f"  armed: {armed['wall_time_s']:.2f}s "
+        f"({armed['frames_per_s']:.1f} f/s) -> {record['speedup']:.2f}x "
+        f"of disarmed throughput\n"
+        f"  armed server telemetry: {armed['server_counters']} counters, "
+        f"{armed['server_histograms']} histograms, "
+        f"{armed['server_trace_events']} trace events "
+        f"(exit {armed['server_exit_reason']})\n"
+        f"  per-session stats bit-identical across legs: "
+        f"{record['bit_identical']}\n"
+    )
 
 
 def format_transport_record(record: Dict) -> str:

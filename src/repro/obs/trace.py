@@ -1,0 +1,192 @@
+"""Bounded ring-buffer span/event recorder, Chrome-trace exportable.
+
+A :class:`SpanRecorder` collects two record kinds on the monotonic
+clock:
+
+- **spans** (``ph == "X"`` in Chrome trace-event terms): a named
+  duration with optional args, recorded via the :meth:`SpanRecorder.span`
+  context manager;
+- **instants** (``ph == "i"``): a named point event.
+
+The buffer is a ``deque(maxlen=capacity)`` — a long-running server
+keeps the *newest* ``capacity`` records and counts what it dropped
+(``recorded - len(events)``), so tracing can stay armed indefinitely
+without unbounded growth.
+
+Timestamps come from ``time.monotonic_ns()``.  On Linux that clock is
+``CLOCK_MONOTONIC``, which is shared machine-wide, so spans recorded in
+the server process and in client processes land on one comparable time
+axis; :func:`merge_traces` just concatenates and sorts.
+
+Export is the Chrome trace-event JSON format (the ``traceEvents``
+array form), loadable in Perfetto / ``chrome://tracing``.  ``ts`` and
+``dur`` are microseconds per that spec.
+
+Like the metrics registry, the recorder only *observes*: nothing in
+the serving stack ever reads a recorded span back, which is what keeps
+the RunStats bit-identity harnesses green with tracing armed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "SpanRecorder",
+    "NullRecorder",
+    "NULL_SPAN",
+    "merge_traces",
+    "write_trace",
+]
+
+
+class _Span:
+    """Context manager that records one "X" event on exit."""
+
+    __slots__ = ("_recorder", "_name", "_args", "_t0")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._args = args
+        self._t0 = 0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.monotonic_ns()
+        self._recorder._record(
+            ("X", self._name, self._t0, t1 - self._t0, self._args)
+        )
+
+
+class _NullSpan:
+    """No-op span handed out when tracing is disarmed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: Shared no-op span context manager (stateless, safe to reuse).
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Bounded recorder of spans and instant events (see module doc)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    def _record(self, event: tuple) -> None:
+        self.events.append(event)
+        self.recorded += 1
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """Context manager timing a named span; args become trace args."""
+        return _Span(self, name, args or None)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a named point event."""
+        self._record(("i", name, time.monotonic_ns(), 0, args or None))
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since construction."""
+        return self.recorded - len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    def chrome_events(self, pid: Optional[int] = None,
+                      tid: int = 0) -> List[Dict[str, Any]]:
+        """Events as Chrome trace-event dicts (``ts``/``dur`` in µs).
+
+        ``pid`` defaults to the current process id; pass the recording
+        process's pid explicitly when exporting on its behalf (e.g. the
+        server's trace shipped over the report pipe).
+        """
+        import os
+
+        if pid is None:
+            pid = os.getpid()
+        out: List[Dict[str, Any]] = []
+        for ph, name, t_ns, dur_ns, args in self.events:
+            event: Dict[str, Any] = {
+                "ph": ph,
+                "name": name,
+                "ts": t_ns / 1000.0,
+                "pid": pid,
+                "tid": tid,
+            }
+            if ph == "X":
+                event["dur"] = dur_ns / 1000.0
+            if ph == "i":
+                event["s"] = "p"  # process-scoped instant
+            if args:
+                event["args"] = args
+            out.append(event)
+        return out
+
+
+class NullRecorder:
+    """Disarmed recorder: every operation is a cheap no-op."""
+
+    capacity = 0
+    recorded = 0
+    dropped = 0
+    events: deque = deque()
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+    def chrome_events(self, pid: Optional[int] = None,
+                      tid: int = 0) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Cross-process assembly
+# ----------------------------------------------------------------------
+def merge_traces(event_lists: Sequence[List[Dict[str, Any]]]
+                 ) -> List[Dict[str, Any]]:
+    """Concatenate per-process Chrome event lists onto one time axis.
+
+    Deterministic: sorted by ``(ts, pid, tid, name)`` so regenerating a
+    report from the same artifacts yields the same file.
+    """
+    merged: List[Dict[str, Any]] = []
+    for events in event_lists:
+        merged.extend(events)
+    merged.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0),
+                               e.get("tid", 0), e.get("name", "")))
+    return merged
+
+
+def write_trace(path: str, events: List[Dict[str, Any]]) -> None:
+    """Write events as a Perfetto-loadable ``{"traceEvents": [...]}``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events}, fh)

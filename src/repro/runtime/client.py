@@ -31,6 +31,7 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.distill.config import DistillConfig
 from repro.models.student import StudentNet
 from repro.network.messages import MessageSizes
@@ -151,6 +152,14 @@ class Client:
             )
         old_stride = self.stride_policy.stride
         self.stride_policy.update(pending.reply.metric)
+        if obs.enabled():
+            # Real-telemetry twin of the simulated Trace events below:
+            # the stride decision each server-reported metric produced,
+            # on the wall clock, mergeable across client processes.
+            obs.series("client.update").append([
+                pending.sent_frame_index, float(pending.reply.metric),
+                self.stride_policy.stride,
+            ])
         self.trace.emit(
             EventType.UPDATE_APPLY, self.clock.now, pending.sent_frame_index,
             key_index=pending.sent_frame_index,

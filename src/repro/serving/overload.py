@@ -249,6 +249,7 @@ class OverloadController:
         self,
         config: OverloadConfig,
         clock: Callable[[], float] = time.monotonic,
+        metrics=None,
     ) -> None:
         self.config = config
         self.tick = 0
@@ -265,6 +266,13 @@ class OverloadController:
         #: Measured seconds-per-tick EWMA; ``None`` until two serves
         #: have been observed.
         self.tick_s: Optional[float] = None
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        #: controller *writes* admission/level telemetry into — never
+        #: reads: every decision stays a pure function of the tick
+        #: trace, so recorded and unrecorded controllers are
+        #: byte-identical in behaviour.
+        self._metrics = metrics
+        self._last_level = 0
 
     # -- clock -----------------------------------------------------------
     def served(self) -> None:
@@ -301,7 +309,17 @@ class OverloadController:
         return max(1, round(ticks * tick_s * 1000))
 
     def observe_sweep(self, pending: int) -> None:
-        self.tracker.observe(pending)
+        level = self.tracker.observe(pending)
+        if level != self._last_level:
+            m = self._metrics
+            if m is not None:
+                m.counter(
+                    "overload.level_up" if level > self._last_level
+                    else "overload.level_down"
+                ).inc()
+                m.gauge("overload.level").set(float(level))
+                m.gauge("overload.peak_level").maximum(float(level))
+            self._last_level = level
 
     # -- admission -------------------------------------------------------
     def admit(self) -> Optional[int]:
@@ -310,13 +328,24 @@ class OverloadController:
         if self.bucket is None:
             return None
         hint = self.bucket.try_take(self.tick)
+        m = self._metrics
         if hint is not None:
             self.refusals["overloaded"] += 1
+            if m is not None:
+                m.counter("overload.reject.overloaded").inc()
+        elif m is not None:
+            m.counter("overload.admit").inc()
+        if m is not None:
+            # Bucket occupancy after the decision — how close to the
+            # rate limit the admission stream is running.
+            m.gauge("overload.tokens").set(self.bucket.tokens)
         return hint
 
     def capacity_hint(self) -> int:
         """``retry_after`` hint for a ``capacity`` REJECT."""
         self.refusals["capacity"] += 1
+        if self._metrics is not None:
+            self._metrics.counter("overload.reject.capacity").inc()
         return self.config.capacity_retry_after
 
     # -- graduated degradation ------------------------------------------

@@ -57,11 +57,14 @@ only the pure per-key-frame core (Algorithm 3).
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.comm.interface import Endpoint
+from repro.obs.metrics import MetricsRegistry
 from repro.transport import wire
 
 #: The event loop's idle behaviour mirrors the shm ring's: yield first
@@ -351,11 +354,20 @@ class ServerRuntime:
         from repro.serving.batched import BatchedTeacher
 
         self._batched_teacher = BatchedTeacher() if batch else None
-        #: Gather/batch/scatter sweep statistics ("cohort" = the key
-        #: frames one poll sweep coalesced into batched inference).
-        self.serve_counters: Dict[str, int] = {
-            "cohorts": 0, "cohort_frames": 0, "max_cohort": 0,
-        }
+        #: The runtime's metrics registry.  With telemetry armed
+        #: (:func:`repro.obs.arm` / ``REPRO_OBS``) this *is* the
+        #: process registry, so runtime instruments merge with every
+        #: other armed layer; disarmed, a local always-on registry
+        #: still carries the cohort accounting ``serve_counters`` and
+        #: the runtime report expose — counting a handful of integers
+        #: per cohort is free next to one teacher forward.
+        self.metrics = (
+            obs.registry() if obs.enabled()
+            else MetricsRegistry(source="server")
+        )
+        self._c_cohorts = self.metrics.counter("serve.cohorts")
+        self._c_cohort_frames = self.metrics.counter("serve.cohort_frames")
+        self._g_max_cohort = self.metrics.gauge("serve.max_cohort")
         self._sessions: Dict[int, _LiveSession] = {}
         self._ended: set = set()
         #: Blueprinted ids that have not ended yet — the runtime's
@@ -369,7 +381,8 @@ class ServerRuntime:
         from repro.serving.overload import OverloadController
 
         self._overload = (
-            OverloadController(overload) if overload is not None else None
+            OverloadController(overload, metrics=self.metrics)
+            if overload is not None else None
         )
         #: Typed teardown records: session id → reason for sessions the
         #: runtime ended unilaterally ("idle-reaped", "recv-budget",
@@ -380,6 +393,26 @@ class ServerRuntime:
         self.connection_teardowns: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def serve_counters(self) -> Dict[str, int]:
+        """Gather/batch/scatter sweep statistics ("cohort" = the key
+        frames one poll sweep coalesced into batched inference) in the
+        dict shape the runtime report has always carried — now a view
+        over the metrics registry rather than a parallel dict."""
+        return {
+            "cohorts": self._c_cohorts.value,
+            "cohort_frames": self._c_cohort_frames.value,
+            "max_cohort": int(self._g_max_cohort.value),
+        }
+
+    def _note_admission(self, reason: Optional[str] = None) -> None:
+        """Armed-only admission accounting (observes, never decides)."""
+        if obs.enabled():
+            if reason is None:
+                obs.counter("admission.accepted").inc()
+            else:
+                obs.counter(f"admission.rejected.{reason}").inc()
+
     def _teacher_for(self, config):
         """One teacher per *spec* for the whole runtime where that is
         provably identical to per-session teachers: the zero-noise
@@ -458,6 +491,7 @@ class ServerRuntime:
         self._sessions[session_id] = _LiveSession(server, connection)
         connection.send_tagged(session_id, wire.Accept(session_id))
         connection.send_tagged(session_id, dict(server.student.state_dict()))
+        self._note_admission()
 
     def _open_session(self, session_id: int, connection) -> None:
         """HELLO path: open a blueprinted session by its table index."""
@@ -467,6 +501,7 @@ class ServerRuntime:
                 f"no blueprint {session_id} "
                 f"(table has {len(self.blueprints)})",
             ))
+            self._note_admission("unknown-session")
             return
         if session_id in self._sessions or session_id in self._ended:
             connection.send_tagged(session_id, wire.Reject(
@@ -474,6 +509,7 @@ class ServerRuntime:
                 "session is already open" if session_id in self._sessions
                 else "session already ran and ended",
             ))
+            self._note_admission("session-in-use")
             return
         if self._at_capacity():
             connection.send_tagged(session_id, wire.Reject(
@@ -481,6 +517,7 @@ class ServerRuntime:
                 f"{len(self._sessions)}/{self.max_sessions} sessions open",
                 retry_after=self._capacity_hint(),
             ))
+            self._note_admission("capacity")
             return
         self._start_session(session_id, connection, self.blueprints[session_id])
 
@@ -497,6 +534,7 @@ class ServerRuntime:
                 0, wire.REJECT_DISABLED,
                 "this server only serves its spawn-time blueprints",
             ))
+            self._note_admission("disabled")
             return
         if self._overload is not None:
             hint = self._overload.admit()
@@ -506,6 +544,7 @@ class ServerRuntime:
                     "admission token bucket is empty",
                     retry_after=self._hint_ms(hint),
                 ))
+                self._note_admission("overloaded")
                 return
         if self._at_capacity():
             connection.send_tagged(0, wire.Reject(
@@ -513,6 +552,7 @@ class ServerRuntime:
                 f"{len(self._sessions)}/{self.max_sessions} sessions open",
                 retry_after=self._capacity_hint(),
             ))
+            self._note_admission("capacity")
             return
         try:
             blueprint = SessionBlueprint.from_admit(admit)
@@ -520,6 +560,7 @@ class ServerRuntime:
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_MALFORMED, str(exc),
             ))
+            self._note_admission("malformed")
             return
         session_id = self._next_dynamic
         if session_id > wire.MAX_SESSION:
@@ -527,6 +568,7 @@ class ServerRuntime:
                 0, wire.REJECT_CAPACITY,
                 "u16 session-id space exhausted for this runtime",
             ))
+            self._note_admission("capacity")
             return
         self._next_dynamic += 1
         try:
@@ -541,6 +583,7 @@ class ServerRuntime:
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_MALFORMED, str(exc),
             ))
+            self._note_admission("malformed")
 
     def _end_session(self, session_id: int) -> None:
         live = self._sessions.pop(session_id, None)
@@ -583,51 +626,68 @@ class ServerRuntime:
         the batched sweep computed it already; ``None`` runs the
         session's own teacher inline (the PR-6 path)."""
         ctl = self._overload
+        armed = obs.enabled()
+        t0 = time.monotonic() if armed else 0.0
         budget = (
             None if ctl is None
             else ctl.degraded_budget(live.server.config.max_updates)
         )
-        if budget is None:
-            # The pristine path — bit-identical to an in-process
-            # run, taken always when overload control is off and
-            # whenever the load level is 0 with it on.
-            reply, _ = live.server.handle_key_frame(
-                frame, label, pseudo_label=pseudo_label
-            )
-        else:
-            # Degraded serve: fewer distillation steps, and the
-            # reported metric floored so the client's Algorithm-2
-            # stride policy stretches its stride — load shed at the
-            # source, recovering when the tracker's level drops.
-            reply, _ = live.server.handle_key_frame(
-                frame, label, max_updates=budget, pseudo_label=pseudo_label
-            )
-            reply = dataclasses.replace(
-                reply,
-                metric=ctl.degraded_metric(
-                    reply.metric, live.server.config.threshold
-                ),
-            )
-        connection.send_tagged(session_id, reply)
+        with obs.span("serve", session=session_id):
+            if budget is None:
+                # The pristine path — bit-identical to an in-process
+                # run, taken always when overload control is off and
+                # whenever the load level is 0 with it on.
+                reply, _ = live.server.handle_key_frame(
+                    frame, label, pseudo_label=pseudo_label
+                )
+            else:
+                # Degraded serve: fewer distillation steps, and the
+                # reported metric floored so the client's Algorithm-2
+                # stride policy stretches its stride — load shed at the
+                # source, recovering when the tracker's level drops.
+                reply, _ = live.server.handle_key_frame(
+                    frame, label, max_updates=budget, pseudo_label=pseudo_label
+                )
+                reply = dataclasses.replace(
+                    reply,
+                    metric=ctl.degraded_metric(
+                        reply.metric, live.server.config.threshold
+                    ),
+                )
+            connection.send_tagged(session_id, reply)
         live.frames_served += 1
+        if armed:
+            # Per-session timeline — the metric each serve reported and
+            # the degradation it ran under — is the record ROADMAP
+            # item 5 (quality-aware shedding) needs to exist.
+            obs.histogram("serve.serve_s").observe(time.monotonic() - t0)
+            obs.series("session.serve").append([
+                session_id, float(reply.metric),
+                0 if ctl is None else ctl.level,
+                -1 if budget is None else budget,
+            ])
 
-    def _cohort_ripe(self, cohort, cohort_deadline, framers) -> bool:
-        """Whether the gathered cohort should be served now.
+    def _cohort_ripe(self, cohort, cohort_deadline, framers) -> Optional[str]:
+        """Why the gathered cohort should be served now, or ``None``.
 
-        Ripe when every live frame-sending session is represented (the
-        whole lockstep fleet has arrived — waiting longer buys nothing)
-        or the straggler window has expired.  Sessions that never sent
-        a FRAME (a never-BYE ghost under attack, a joiner still
-        pre-training) do not gate ripeness: they would hold every
-        honest reply for the full window.
+        ``"full"`` when every live frame-sending session is represented
+        (the whole lockstep fleet has arrived — waiting longer buys
+        nothing); ``"window"`` when the straggler window has expired.
+        Sessions that never sent a FRAME (a never-BYE ghost under
+        attack, a joiner still pre-training) do not gate ripeness: they
+        would hold every honest reply for the full window.
         """
-        return (
+        if (
             len({entry[0] for entry in cohort})
             >= sum(1 for sid in self._sessions if sid in framers)
-            or time.monotonic() >= cohort_deadline
-        )
+        ):
+            return "full"
+        if time.monotonic() >= cohort_deadline:
+            return "window"
+        return None
 
-    def _serve_cohort(self, cohort, closed: set) -> None:
+    def _serve_cohort(self, cohort, closed: set, reason: str = "full",
+                      gather_t0: Optional[float] = None) -> None:
         """Scatter phase of one batched sweep.
 
         ``cohort`` holds ``(session_id, connection index, connection,
@@ -647,15 +707,22 @@ class ServerRuntime:
         """
         ctl = self._overload
         recv_budget_s = None if ctl is None else ctl.config.recv_budget_s
-        counters = self.serve_counters
-        counters["cohorts"] += 1
-        counters["cohort_frames"] += len(cohort)
-        counters["max_cohort"] = max(counters["max_cohort"], len(cohort))
+        self._c_cohorts.inc()
+        self._c_cohort_frames.inc(len(cohort))
+        self._g_max_cohort.maximum(len(cohort))
+        if obs.enabled():
+            obs.counter(f"serve.flush.{reason}").inc()
+            obs.histogram("serve.cohort_size").observe(float(len(cohort)))
+            if gather_t0 is not None:
+                obs.histogram("serve.gather_s").observe(
+                    time.monotonic() - gather_t0
+                )
         items = [
             (live.server.teacher, live.server.work_version, frame, label)
             for _sid, _index, _connection, live, frame, label in cohort
         ]
-        labels, _routes = self._batched_teacher.infer(items)
+        with obs.span("teacher_batch", frames=len(cohort), flush=reason):
+            labels, _routes = self._batched_teacher.infer(items)
         for pos in sorted(range(len(cohort)), key=lambda p: cohort[p][0]):
             session_id, index, connection, live, frame, label = cohort[pos]
             if index in closed or session_id not in self._sessions:
@@ -811,6 +878,13 @@ class ServerRuntime:
         #: composition, so the heuristic only moves the batching win).
         cohort: List[tuple] = []
         cohort_deadline: Optional[float] = None
+        #: When the oldest queued cohort frame arrived — the gather
+        #: latency the flush histogram observes (telemetry only).
+        cohort_t0: Optional[float] = None
+        #: Armed once at loop entry: arming mid-run is not supported,
+        #: and a per-sweep module-global check would be the only
+        #: disarmed cost of the whole sweep instrumentation.
+        armed = obs.enabled()
         #: Session ids that have ever sent a FRAME.  Cohort ripeness
         #: counts only these: an admitted session that never serves key
         #: frames (a never-BYE ghost under attack, a joiner still
@@ -819,6 +893,7 @@ class ServerRuntime:
         #: only grows; ripeness intersects it with the live table.
         framers: set = set()
         while not self._quiesced(connections, closed, expected):
+            sweep_t0 = time.monotonic() if armed else 0.0
             progressed = False
             served_this_sweep = 0
             accepted = listener.poll_accept()
@@ -894,16 +969,20 @@ class ServerRuntime:
                         window = (
                             0.0 if ctl is not None else self.gather_window_s
                         )
-                        cohort_deadline = time.monotonic() + window
-                    if self._cohort_ripe(cohort, cohort_deadline, framers):
+                        cohort_t0 = time.monotonic()
+                        cohort_deadline = cohort_t0 + window
+                    ripe = self._cohort_ripe(cohort, cohort_deadline, framers)
+                    if ripe:
                         # Ripe mid-sweep (every live framer represented,
                         # or a zero/expired window): serve NOW rather
                         # than after the remaining connections poll — a
                         # blocking slow peer later in the sweep must not
                         # add its recv budget to this reply's latency.
-                        self._serve_cohort(cohort, closed)
+                        self._serve_cohort(cohort, closed, reason=ripe,
+                                           gather_t0=cohort_t0)
                         cohort = []
                         cohort_deadline = None
+                        cohort_t0 = None
                     served_this_sweep += 1
                     progressed = True
                     continue
@@ -918,14 +997,30 @@ class ServerRuntime:
                                               "send-budget")
                 served_this_sweep += 1
                 progressed = True
-            if cohort and self._cohort_ripe(cohort, cohort_deadline, framers):
+            ripe = (
+                self._cohort_ripe(cohort, cohort_deadline, framers)
+                if cohort else None
+            )
+            if ripe:
                 # Batch + scatter: one stacked teacher inference per
                 # weight-equal group, replies in ascending-session order.
-                self._serve_cohort(cohort, closed)
+                self._serve_cohort(cohort, closed, reason=ripe,
+                                   gather_t0=cohort_t0)
                 cohort = []
                 cohort_deadline = None
+                cohort_t0 = None
             if ctl is not None:
                 ctl.observe_sweep(served_this_sweep)
+            if armed and progressed:
+                # Idle sweeps are the nap loop's business; timing them
+                # would drown the histogram in backoff noise.
+                obs.histogram("sweep.duration_s").observe(
+                    time.monotonic() - sweep_t0
+                )
+                obs.histogram("sweep.pending").observe(
+                    float(served_this_sweep)
+                )
+                obs.gauge("sessions.open").maximum(float(len(self._sessions)))
             if next_reap is not None and time.monotonic() >= next_reap:
                 if self._reap_idle(connections, closed, conn_active,
                                    time.monotonic()):
@@ -956,33 +1051,70 @@ class ServerRuntime:
 
 def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
                    max_sessions, admit, overload=None, batch=True,
-                   gather_window_s=0.05, report_conn=None) -> None:
+                   gather_window_s=0.05, report_conn=None,
+                   obs_config=None) -> None:
     """Server-process entry point for :func:`start_server`.
 
     ``report_conn`` (a pipe back to the spawning process) receives one
     final report — frames served, batched-serve route counters, typed
-    teardowns — so benches and tests can read the runtime's accounting
-    without sharing memory with it.
+    teardowns, a typed ``exit_reason``, and the runtime's metrics
+    snapshot (plus Chrome trace events when tracing is armed) — so
+    benches and tests can read the runtime's accounting without sharing
+    memory with it.  The report is sent on *every* exit path: a
+    construction error, a crash mid-run, or the idle timeout reaches
+    the owner as ``exit_reason = "error:<type>"`` / ``"idle-timeout"``
+    instead of a silently absent report.
+
+    ``obs_config`` (an :class:`~repro.obs.ObsConfig`) arms telemetry in
+    this process explicitly; ``None`` defers to the inherited
+    ``REPRO_OBS`` environment, so one env var arms a whole process tree.
     """
-    runtime = ServerRuntime(
-        blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
-        max_sessions=max_sessions, admit=admit, overload=overload,
-        batch=batch, gather_window_s=gather_window_s,
-    )
+    obs.arm_from_config(obs_config, source="server")
+    runtime = None
+    exit_reason = "quiesced"
     try:
+        runtime = ServerRuntime(
+            blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
+            max_sessions=max_sessions, admit=admit, overload=overload,
+            batch=batch, gather_window_s=gather_window_s,
+        )
         runtime.run(listener)
+    except TimeoutError:
+        exit_reason = "idle-timeout"
+        raise
+    except BaseException as exc:
+        exit_reason = f"error:{type(exc).__name__}"
+        raise
     finally:
         if report_conn is not None:
             try:
-                report_conn.send({
-                    "frames_served": dict(runtime.frames_served),
-                    "serve_counters": runtime.route_counters(),
-                    "teardowns": dict(runtime.teardowns),
-                })
+                report = {
+                    "exit_reason": exit_reason,
+                    "frames_served": (
+                        dict(runtime.frames_served)
+                        if runtime is not None else {}
+                    ),
+                    "serve_counters": (
+                        runtime.route_counters()
+                        if runtime is not None else {}
+                    ),
+                    "teardowns": (
+                        dict(runtime.teardowns)
+                        if runtime is not None else {}
+                    ),
+                    "metrics": (
+                        runtime.metrics.snapshot()
+                        if runtime is not None else obs.snapshot()
+                    ),
+                }
+                if obs.enabled():
+                    report["trace"] = obs.trace_events()
+                report_conn.send(report)
             except (BrokenPipeError, OSError):
                 pass  # the owner died first; accounting dies with it
             finally:
                 report_conn.close()
+        obs.export_artifacts()
 
 
 # ----------------------------------------------------------------------
@@ -1235,21 +1367,34 @@ class SessionTicket:
     retry_seed: int = 0
 
 
+#: ``exit_reason`` of the typed marker report :meth:`ServerHandle.close`
+#: synthesises when the server process never delivered its own report
+#: (killed before the runtime's finally, or the poll deadline passed).
+REPORT_LOST = "report-lost"
+
+
 class ServerHandle:
     """Owner's view of a spawned :class:`ServerRuntime` process."""
 
     def __init__(self, transport: str, link, process, n_sessions: int,
-                 report_conn=None) -> None:
+                 report_conn=None, report_timeout_s: float = 5.0) -> None:
         self.transport = transport
         self.link = link
         self.process = process
         self.n_sessions = n_sessions
         self._parent_connection: Optional[MuxConnection] = None
         self._report_conn = report_conn
+        #: How long :meth:`close` waits on the report pipe.  The
+        #: process has already been joined by then, so this is a drain
+        #: allowance for a large (trace-bearing) report still in the
+        #: pipe buffer, not a wait on the runtime.
+        self.report_timeout_s = report_timeout_s
         #: The runtime's final accounting (frames served, batched-serve
-        #: route counters, typed teardowns), populated by :meth:`close`
-        #: once the server process has reported; ``None`` before then
-        #: or when the server died without reporting.
+        #: route counters, typed teardowns, exit reason, metrics
+        #: snapshot), populated by :meth:`close`.  ``None`` before
+        #: close; after close it is *always* a dict — a server that
+        #: died without reporting yields the typed :data:`REPORT_LOST`
+        #: marker instead of a silent ``None``.
         self.runtime_report: Optional[Dict[str, Any]] = None
         self._closed = False
 
@@ -1305,7 +1450,8 @@ class ServerHandle:
             )
 
     # ------------------------------------------------------------------
-    def close(self, join_timeout_s: float = 30.0) -> None:
+    def close(self, join_timeout_s: float = 30.0,
+              report_timeout_s: Optional[float] = None) -> None:
         """Close the parent connection, join the server, release the
         transport.  Idempotent.
 
@@ -1315,6 +1461,12 @@ class ServerHandle:
         shared segments under a still-running process, the join is
         bounded and a straggler is terminated before the transport is
         released.
+
+        ``report_timeout_s`` overrides the handle's report-pipe drain
+        allowance for this close only.  A report that never arrives is
+        surfaced as the typed :data:`REPORT_LOST` marker dict — callers
+        branch on ``report["exit_reason"]`` instead of guessing what a
+        ``None`` meant.
         """
         if self._closed:
             return
@@ -1327,17 +1479,30 @@ class ServerHandle:
                 self.process.terminate()
                 self.process.join(timeout=5.0)
         if self._report_conn is not None:
+            wait_s = (
+                self.report_timeout_s if report_timeout_s is None
+                else report_timeout_s
+            )
             try:
                 # The runtime sends its report on exit; by this point
                 # the process has been joined, so the read is a drain,
                 # not a wait.
-                if self._report_conn.poll(1.0):
+                if self._report_conn.poll(wait_s):
                     self.runtime_report = self._report_conn.recv()
             except (EOFError, OSError):
-                pass  # died without reporting — the report stays None
+                pass  # died without reporting — marked lost below
             finally:
                 self._report_conn.close()
                 self._report_conn = None
+            if self.runtime_report is None:
+                self.runtime_report = {
+                    "exit_reason": REPORT_LOST,
+                    "report_lost": True,
+                    "frames_served": {},
+                    "serve_counters": {},
+                    "teardowns": {},
+                    "metrics": None,
+                }
         self.link.close()
 
     def __enter__(self) -> "ServerHandle":
@@ -1358,6 +1523,8 @@ def start_server(
     overload=None,
     batch: bool = True,
     gather_window_s: float = 0.05,
+    obs_config=None,
+    report_timeout_s: float = 5.0,
     **options,
 ) -> ServerHandle:
     """Spawn one multiplexing server process.
@@ -1376,7 +1543,11 @@ def start_server(
 
     The returned handle's :attr:`~ServerHandle.runtime_report` (read at
     :meth:`~ServerHandle.close`) carries the runtime's final accounting
-    — frames served, batched-serve route counters, typed teardowns.
+    — frames served, batched-serve route counters, typed teardowns, a
+    typed exit reason, and the runtime's metrics snapshot.
+    ``obs_config`` arms telemetry in the server process explicitly
+    (``None`` defers to the inherited ``REPRO_OBS`` environment);
+    ``report_timeout_s`` sets the handle's report-pipe drain allowance.
     """
     import functools
     import multiprocessing as mp
@@ -1395,6 +1566,7 @@ def start_server(
         batch=batch,
         gather_window_s=gather_window_s,
         report_conn=report_send,
+        obs_config=obs_config,
     )
     try:
         link, process = registry.serve_many(
@@ -1406,7 +1578,8 @@ def start_server(
         raise
     report_send.close()
     return ServerHandle(
-        transport, link, process, len(blueprints), report_conn=report_recv
+        transport, link, process, len(blueprints), report_conn=report_recv,
+        report_timeout_s=report_timeout_s,
     )
 
 
@@ -1520,6 +1693,10 @@ def _client_process_main(address, config, frame_hw, video_key, num_frames,
 
     from repro.serving.runtime import AdmissionError
 
+    # Inherited REPRO_OBS arms this client's telemetry; the artifact
+    # it exports on the way out (obs-client-<pid>.json) is what
+    # scripts/obs_report.py merges with the server's snapshot.
+    obs.arm_from_env(source=f"client-{os.getpid()}")
     try:
         if delay_s > 0.0:
             # Churn: this client joins a server that is already serving
@@ -1532,7 +1709,11 @@ def _client_process_main(address, config, frame_hw, video_key, num_frames,
                 CATEGORY_BY_KEY[video_key], height=frame_hw[0], width=frame_hw[1]
             )
             video.reset()
-            stats = client.run(video.frames(num_frames), label=label)
+            # The client's one span: its whole session on the shared
+            # monotonic axis, so the merged trace shows each client's
+            # stream bracketing the server's serve/teacher_batch spans.
+            with obs.span("client_session", label=label, frames=num_frames):
+                stats = client.run(video.frames(num_frames), label=label)
         finally:
             client.server.close()
         result_conn.send(("ok", stats))
@@ -1547,6 +1728,7 @@ def _client_process_main(address, config, frame_hw, video_key, num_frames,
         finally:
             raise
     finally:
+        obs.export_artifacts()
         result_conn.close()
 
 

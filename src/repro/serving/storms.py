@@ -299,6 +299,12 @@ class StormReport:
     #: True when the server process died non-zero or any honest job
     #: hung — the failure mode overload control exists to prevent.
     wedged: bool
+    #: The server's final accounting (typed ``exit_reason``, metrics
+    #: snapshot with the admission/overload counters, teardowns) read
+    #: at close — always a dict after a run, never ``None``: a server
+    #: killed before it could report yields the typed ``report-lost``
+    #: marker instead.
+    runtime_report: Optional[Dict] = None
 
     def as_record(self) -> Dict:
         return dataclasses.asdict(self)
@@ -394,4 +400,5 @@ def run_storm(
         wall_s=wall_s,
         server_exit=handle.process.exitcode,
         wedged=handle.process.exitcode != 0 or errors > 0,
+        runtime_report=handle.runtime_report,
     )

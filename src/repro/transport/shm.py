@@ -46,6 +46,7 @@ from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.comm.interface import Endpoint, Request
 from repro.transport import wire
 
@@ -133,6 +134,12 @@ class ShmRing:
     def _await_seq(self, index: int, want: int, deadline: float) -> None:
         seq = self._seq
         slot = index % self.slots
+        if seq[slot] == want:
+            return  # ready on arrival: no wait, no telemetry
+        # The slot was not ready — the peer is behind.  Time the wait
+        # only now (the hot already-published path above pays nothing),
+        # and only when telemetry is armed.
+        t0 = time.monotonic() if obs.enabled() else None
         spins = 0
         nap = _NAP_S
         while seq[slot] != want:
@@ -147,6 +154,9 @@ class ShmRing:
                 )
             time.sleep(nap)
             nap = min(2 * nap, _NAP_MAX_S)
+        if t0 is not None:
+            obs.counter("shm.waits").inc()
+            obs.histogram("shm.wait_s").observe(time.monotonic() - t0)
 
     # -- producer side -------------------------------------------------
     def send_message(self, obj: wire.Message, timeout_s: float, session: int = 0) -> int:
@@ -168,6 +178,11 @@ class ShmRing:
             return total
         # Large message: encode once into local scratch, stream the
         # fragments through consecutive slots.
+        if obs.enabled():
+            obs.counter("shm.fragmented_sends").inc()
+            obs.counter("shm.fragments").inc(
+                -(-total // self.slot_nbytes)  # ceil division
+            )
         if len(self._scratch) < total:
             self._scratch = bytearray(total)
         view = memoryview(self._scratch)
@@ -212,6 +227,8 @@ class ShmRing:
             self._release()
             return session, obj, total
         # Reassemble a fragmented message.
+        if obs.enabled():
+            obs.counter("shm.fragmented_recvs").inc()
         if len(self._scratch) < total:
             self._scratch = bytearray(total)
         view = memoryview(self._scratch)

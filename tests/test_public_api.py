@@ -71,6 +71,9 @@ PUBLIC_MODULES = [
     "repro.serving.scheduler",
     "repro.serving.batched",
     "repro.serving.shared",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.analytic",
     "repro.analytic.bounds",
     "repro.analytic.planner",

@@ -14,6 +14,7 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.serving.storms import STORM_NAMES, run_storm, storm_plan
 
 pytestmark = pytest.mark.storm
@@ -30,7 +31,11 @@ def _shm_segments():
 def test_storm_never_wedges_server(name):
     before = _shm_segments()
     plan = storm_plan(name, seed=0, frames=2)
-    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0)
+    # Metrics armed in the server process (ISSUE 8): the storm must
+    # still resolve identically, and its report must carry the
+    # admission/overload accounting.
+    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0,
+                       obs_config=obs.ObsConfig(metrics=True))
     assert report.name == name and report.control
     # No wedge: the server drained the storm and exited cleanly, and
     # every honest job resolved one way or the other.
@@ -42,6 +47,18 @@ def test_storm_never_wedges_server(name):
     # Refusals, if any, are typed and always carry a retry hint.
     assert set(report.reject_reasons) <= {"overloaded", "capacity"}
     assert report.hinted == report.rejected
+    # The server's final accounting survived the storm (ISSUE 8): a
+    # typed exit reason and a metrics snapshot whose admission counters
+    # cover every honest outcome — never a silent None.
+    runtime = report.runtime_report
+    assert runtime is not None
+    assert runtime["exit_reason"] == "quiesced"
+    counters = runtime["metrics"]["counters"]
+    assert counters.get("admission.accepted", 0) >= report.ok
+    rejects = sum(
+        v for k, v in counters.items() if k.startswith("admission.rejected.")
+    )
+    assert rejects >= report.rejected
     if before is not None:
         leaked = _shm_segments() - before
         assert not leaked, f"leaked shm segments: {leaked}"
