@@ -30,6 +30,13 @@ neural teacher by default and also measures the unbatched mux as an
 in-record A/B (``batch_speedup``); ``--no-batch`` serves key frames
 inline per connection (the PR-6 path) instead.
 
+``--train`` benchmarks the full-mode compiled train step: the same
+key-frame distillation loop run through interpreted autograd and then
+through the compiled forward + generated adjoint plan, recording the
+per-step latency ratio (floor-enforced >= 1.5x by
+``benchmarks/test_perf_train.py``) and the exact loss/metric identity
+of the two legs.
+
 ``--obs`` benchmarks telemetry overhead: the serve-many deployment run
 disarmed and then with the full telemetry stack armed (metrics registry
 + span tracing + per-plan-step engine timing, server and clients),
@@ -66,6 +73,7 @@ from repro.experiments.perf import (  # noqa: E402
     format_record,
     format_serve_many_record,
     format_storm_record,
+    format_train_record,
     format_transport_record,
     measure_engine_speedup,
     measure_obs_overhead,
@@ -73,6 +81,7 @@ from repro.experiments.perf import (  # noqa: E402
     measure_serve_many_churn,
     measure_serve_many_throughput,
     measure_storm,
+    measure_train_speedup,
     measure_transport_throughput,
     migrate_records,
 )
@@ -126,6 +135,11 @@ def main() -> int:
                              "server, plus a no-control baseline")
     parser.add_argument("--storm-seed", type=int, default=0,
                         help="seed for --storm (default: 0)")
+    parser.add_argument("--train", action="store_true",
+                        help="benchmark the full-mode compiled train step "
+                             "(forward + generated adjoint) against the "
+                             "interpreted autograd loop (floor: >= 1.5x "
+                             "per-step, with bit-identical losses)")
     parser.add_argument("--obs", action="store_true",
                         help="benchmark telemetry overhead: the serve-many "
                              "deployment with metrics + tracing + engine "
@@ -155,6 +169,14 @@ def main() -> int:
     if args.transport:
         record = measure_transport_throughput(pr=args.pr)
         summary = format_transport_record(record)
+    elif args.train:
+        record = measure_train_speedup(
+            num_frames=args.frames or 4,
+            width=args.width,
+            category=args.category,
+            pr=args.pr,
+        )
+        summary = format_train_record(record)
     elif args.obs:
         record = measure_obs_overhead(
             num_frames=args.frames or 32,

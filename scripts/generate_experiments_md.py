@@ -350,6 +350,55 @@ def section_perf():
     )
 
 
+def section_train():
+    """Full-mode train-step trajectory (the generated adjoint plan)."""
+    import json
+
+    from repro.experiments.perf import DEFAULT_RESULTS_PATH
+
+    header = "## Full-mode train step (generated adjoint)\n\n"
+    prose = (
+        "\n\nPer-optimisation-step wall time of full-mode key-frame "
+        "distillation: the interpreted define-by-run loop vs the "
+        "compiled forward plus the *generated adjoint* plan, whose "
+        "schedule replays autograd's reversed depth-first traversal — "
+        "so the losses, step counts, and metrics of the two paths are "
+        "compared bit for bit (`bit =`), not approximately.  Regenerate "
+        "with `scripts/bench_perf.py --train`; "
+        "`benchmarks/test_perf_train.py` enforces the >= 1.5x floor.\n"
+    )
+    if not DEFAULT_RESULTS_PATH.exists():
+        return (
+            header + "No BENCH_PERF.json yet — generate with "
+            "`PYTHONPATH=src python scripts/bench_perf.py --train`.\n"
+        )
+    records = json.loads(DEFAULT_RESULTS_PATH.read_text())
+    train_records = [r for r in records if r.get("name") == "train-step"]
+    if not train_records:
+        return (
+            header + "No train-step records yet — generate with "
+            "`PYTHONPATH=src python scripts/bench_perf.py --train`.\n"
+        )
+    rows = []
+    for rec in train_records[-8:]:
+        proto = rec["protocol"]
+        rows.append([
+            f"{rec.get('pr', '?')} {rec.get('git_rev', '?')}",
+            f"{proto['num_frames']}x{proto['max_updates']}"
+            f"@{proto['student_width']}",
+            f2(rec["seed_path"]["step_ms"]),
+            f2(rec["engine_path"]["step_ms"]),
+            f2(rec["speedup"]),
+            "yes" if rec["bit_identical"] else "NO",
+        ])
+    table = md_table(
+        ["run", "frames x steps @ width", "autograd step ms",
+         "adjoint step ms", "speedup", "bit ="],
+        rows,
+    )
+    return header + table + prose
+
+
 def section_serving():
     """Sessions-per-box scaling of the multi-session serving pool.
 
@@ -596,6 +645,7 @@ def main() -> None:
         section_figure4(scale),
         section_link_traces(scale),
         section_perf(),
+        section_train(),
         section_serving(),
         section_serve_many(),
         section_churn(),

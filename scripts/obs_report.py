@@ -84,6 +84,45 @@ def run_armed_serve_many(directory: pathlib.Path, n_clients: int = 2,
                 os.environ[key] = value
 
 
+def format_engine_step_table(snapshot) -> str:
+    """Forward vs backward wall time per engine kernel.
+
+    The per-plan-step timing hook (``REPRO_OBS=engine``) names its
+    histograms after the step class: ``engine.step.ConvStep`` is the
+    forward kernel, ``engine.step.ConvVjpStep`` the matching step of
+    the generated adjoint plan.  This table pairs the two, so one
+    report answers where a train step's time goes — per kernel, split
+    by direction.  Returns "" when no engine timings were recorded.
+    """
+    prefix = "engine.step."
+    histograms = snapshot.get("histograms", {})
+    steps = {
+        name[len(prefix):]: h
+        for name, h in histograms.items() if name.startswith(prefix)
+    }
+    if not any(name.endswith("VjpStep") for name in steps):
+        return ""
+
+    def stats(h):
+        if h is None or not h["count"]:
+            return "-", "-"
+        return str(h["count"]), f"{1000 * h['total'] / h['count']:.3f}"
+
+    kernels = sorted(
+        {name[:-len("VjpStep")] for name in steps if name.endswith("VjpStep")}
+        | {name[:-len("Step")] for name in steps if not name.endswith("VjpStep")}
+    )
+    rows = [("kernel", "fwd n", "fwd ms", "bwd n", "bwd ms")]
+    for kernel in kernels:
+        fwd, bwd = steps.get(f"{kernel}Step"), steps.get(f"{kernel}VjpStep")
+        rows.append((kernel, *stats(fwd), *stats(bwd)))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = ["engine steps (forward vs adjoint, mean wall ms)"]
+    for row in rows:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def load_artifacts(directory: pathlib.Path):
     """All ``obs-*.json`` payloads in ``directory``, sorted by source."""
     artifacts = []
@@ -121,9 +160,13 @@ def main() -> int:
         print(format_snapshot_table(snapshot))
         print()
     if snapshots:
-        print(format_snapshot_table(merge_snapshots(snapshots),
-                                    title="merged metrics"))
+        merged = merge_snapshots(snapshots)
+        print(format_snapshot_table(merged, title="merged metrics"))
         print()
+        engine_table = format_engine_step_table(merged)
+        if engine_table:
+            print(engine_table)
+            print()
 
     events = merge_traces([a.get("trace") or [] for a in artifacts])
     trace_path = args.trace_out or (args.dir / "trace.json")

@@ -26,6 +26,17 @@ timeout 300 python scripts/smoke_storm.py
 # parseable Chrome trace plus a merged cross-process metrics table.
 # Hard timeout: a telemetry-wedged server fails the gate, not hangs it.
 timeout 300 python scripts/smoke_obs.py
+# Escape-hatch lint (ISSUE 9): full-mode training rides the generated
+# adjoint plan unconditionally — the REPRO_ENGINE_FULL env var must
+# not come back anywhere outside the historical record (CHANGES.md /
+# ROADMAP.md) and the issue text itself.
+if grep -rn "REPRO_ENGINE_FULL" . \
+    --exclude-dir=.git --exclude-dir=.hypothesis \
+    --exclude=CHANGES.md --exclude=ROADMAP.md --exclude=ISSUE.md \
+    --exclude=test_tier1.sh; then
+  echo "FAIL: REPRO_ENGINE_FULL escape hatch reintroduced" >&2
+  exit 1
+fi
 # Docs smoke (ISSUE 5): the protocol spec cannot drift from wire.py
 # (the doc-sync test also runs inside the suite above; this re-run
 # keeps the gate explicit and costs under a second), and every fenced

@@ -215,11 +215,7 @@ class StudentTrainer:
                 return _CachedFrontStepRunner(
                     student, feats, back_plan, frame, target, weight_map
                 )
-            if self.trainable_fraction == 1.0 and engine.full_train_enabled():
-                # Opt-in only (REPRO_ENGINE_FULL=1): compiled full-mode
-                # training is float32-close, not bit-exact, to the seed
-                # loop, and published full-distillation numbers must not
-                # depend on the engine flag.
+            if self.trainable_fraction == 1.0:
                 train_plan = student.engine_plan("train_full", (tuple(x4.shape),))
                 if train_plan is not None:
                     return _CompiledStepRunner(

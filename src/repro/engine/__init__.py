@@ -24,10 +24,14 @@ without recompilation; only *weight-static* plans — none are built
 today — must be dropped on a state-dict load, which
 :meth:`repro.nn.module.Module.invalidate_plans` handles.
 
-:mod:`repro.engine.training` extends the same machinery with compiled
-backward kernels, giving Algorithm 1 a fused train step over the
-trainable back-end (the forward-pass twin of the paper's
-``PartialBackward``).
+:mod:`repro.engine.training` extends the same machinery to Algorithm
+1's update step: the forward is a compiled plan, and
+:mod:`repro.engine.adjoint` *generates* the backward from the recorded
+trace as a second plan of vjp steps, scheduled in autograd's exact
+reversed depth-first postorder so multi-consumer gradient accumulation
+(the Figure-3b skip tensors under full distillation) sums bitwise
+identically to the define-by-run loop.  Both distillation modes ride
+the compiled step unconditionally.
 
 The engine is enabled by default; set ``REPRO_ENGINE=0`` (or call
 :func:`set_enabled`) to fall back to the pure autograd seed path —
@@ -45,14 +49,6 @@ _FALSY = ("0", "false", "off", "no")
 
 _ENABLED = os.environ.get("REPRO_ENGINE", "1").strip().lower() not in _FALSY
 
-#: Compiled *full-distillation* training is opt-in: with three gradient
-#: consumers on the Figure-3b skip tensors, float32 summation order
-#: differs from autograd's topological order, so full-mode trajectories
-#: are close but not bit-identical — the reproduction's full-mode
-#: numbers must not depend on whether the engine is on.  Partial
-#: distillation (the paper's default) is bit-exact and always eligible.
-_FULL_TRAIN = os.environ.get("REPRO_ENGINE_FULL", "0").strip().lower() not in _FALSY
-
 
 def is_enabled() -> bool:
     """Whether models should route hot paths through compiled plans."""
@@ -64,19 +60,6 @@ def set_enabled(flag: bool) -> bool:
     global _ENABLED
     previous = _ENABLED
     _ENABLED = bool(flag)
-    return previous
-
-
-def full_train_enabled() -> bool:
-    """Whether full-distillation training may use the compiled step."""
-    return _ENABLED and _FULL_TRAIN
-
-
-def set_full_train_enabled(flag: bool) -> bool:
-    """Opt in/out of compiled full-mode training; returns previous value."""
-    global _FULL_TRAIN
-    previous = _FULL_TRAIN
-    _FULL_TRAIN = bool(flag)
     return previous
 
 
@@ -97,6 +80,8 @@ _LAZY = {
     "CompiledPlan": ("repro.engine.compiler", "CompiledPlan"),
     "UntraceableError": ("repro.engine.kernels", "UntraceableError"),
     "CompiledTrainStep": ("repro.engine.training", "CompiledTrainStep"),
+    "generate_adjoint": ("repro.engine.adjoint", "generate_adjoint"),
+    "adjoint_schedule": ("repro.engine.adjoint", "adjoint_schedule"),
 }
 
 

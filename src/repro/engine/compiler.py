@@ -62,14 +62,20 @@ def build_steps(
     outputs: Tuple[Tensor, ...],
     training: bool,
     per_sample_stats: bool = False,
-) -> Tuple[list, List[Tuple[int, ...]], List[int], List[int]]:
+    with_lowering: bool = False,
+) -> tuple:
     """Lower trace records to kernel steps.
 
     ``per_sample_stats`` builds batch-norm steps that compute their
     batch statistics per sample (the multi-session serving semantics;
     see :class:`~repro.engine.kernels.BatchNormStep`).
 
-    Returns ``(steps, slot_shapes, input_slots, output_slots)``.
+    Returns ``(steps, slot_shapes, input_slots, output_slots)``; with
+    ``with_lowering`` a fifth element is appended: the record-to-step
+    index map (``step_of_record[i]`` is the step lowered from record
+    ``i``, with a fused relu record mapping to its producer's fused
+    step).  The adjoint generator replays autograd's traversal over the
+    *records* and needs this map to land on the lowered kernels.
     """
     slot_of = {id(t): i for i, t in enumerate(inputs)}
     shapes: List[Tuple[int, ...]] = [tuple(t.shape) for t in inputs]
@@ -97,6 +103,7 @@ def build_steps(
 
     steps = []
     skip: set = set()
+    step_of_record: List[int] = [-1] * len(records)
     for idx, rec in enumerate(records):
         if idx in skip:
             continue
@@ -117,6 +124,7 @@ def build_steps(
             ):
                 fuse_relu = True
                 skip.add(relu_idx)
+                step_of_record[relu_idx] = len(steps)
                 out_id = records[relu_idx].output_id
 
         if rec.kind == "module":
@@ -167,6 +175,7 @@ def build_steps(
 
         slot_of[out_id] = len(shapes)
         shapes.append(tuple(step.out_shape))
+        step_of_record[idx] = len(steps)
         steps.append(step)
 
     output_slots = []
@@ -175,6 +184,8 @@ def build_steps(
             raise UntraceableError("a plan output was produced by an untraced op")
         output_slots.append(slot_of[id(t)])
     input_slots = list(range(len(inputs)))
+    if with_lowering:
+        return steps, shapes, input_slots, output_slots, step_of_record
     return steps, shapes, input_slots, output_slots
 
 

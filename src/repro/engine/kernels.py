@@ -12,11 +12,13 @@ autograd twin (:mod:`repro.autograd.conv`, :mod:`repro.nn.layers`,
 :mod:`repro.autograd.tensor`), so plan *forward* outputs are
 bit-identical to the define-by-run forward — the engine-vs-autograd
 equivalence tests rely on this, and argmax predictions cannot drift
-between the two paths.  Backward is bit-identical wherever each
-gradient sums at most two contributions (all of the student's
-back-end, hence partial distillation); tensors with three or more
-gradient consumers (the Figure-3b skips under full distillation) only
-match to float32 round-off, because summation order differs.
+between the two paths.  Backward is bit-identical too: each ``backward``
+accumulates into its gradient buffers in its closure's own operation
+order, and the *cross*-kernel order — which decides how tensors with
+three or more gradient consumers (the Figure-3b skips under full
+distillation) sum their float32 contributions — is scheduled by
+:mod:`repro.engine.adjoint` from a simulation of autograd's traversal,
+not by reversed lowering order.
 
 Weight handling: kernels hold *module references* and read
 ``weight.data`` / buffers at execution time.  In-place optimizer

@@ -1,32 +1,33 @@
-"""Compiled train step: fused forward + backward for Algorithm 1.
+"""Compiled train step: fused forward + generated adjoint for Algorithm 1.
 
 Partial distillation freezes the student's front-end, so each of the
 up-to-``MAX_UPDATES`` optimisation steps per key frame only needs
 forward + backward over the trainable back-end — the forward-pass twin
-of the paper's ``PartialBackward``.  This module compiles exactly that:
-the back-end forward (traced once per geometry, same kernel set as the
-inference plans but built with ``training=True``) plus hand-lowered
-backward kernels and the LVS-weighted cross-entropy head.
+of the paper's ``PartialBackward``.  Full distillation compiles the
+whole forward the same way (gradient flow into the frame input is
+skipped because inputs are roots, exactly as ``requires_grad=False``
+does in autograd).
+
+The forward is a :class:`~repro.engine.compiler.CompiledPlan` traced
+once per geometry.  The backward is no longer a hand-maintained
+reversed walk over the forward steps: :mod:`repro.engine.adjoint`
+*generates* it from the recorded trace as a second plan — explicit vjp
+steps scheduled in autograd's exact reversed depth-first postorder.
+That schedule is what makes the step **bitwise** equal to the
+define-by-run loop in both modes: each vjp accumulates into its
+gradient buffers in its closure's own operation order, and the
+cross-closure order (which decides how three-consumer skip tensors sum
+their float32 contributions) is simulated from
+:meth:`repro.autograd.tensor.Tensor.backward` rather than approximated.
+The parity tests in ``tests/test_engine_training.py`` and the property
+tests in ``tests/test_engine_adjoint.py`` assert this end to end, so
+the trainer uses the compiled step unconditionally in both modes — the
+old full-mode env-var escape hatch is gone.
 
 The step writes gradients straight into ``Parameter.grad`` (scratch
 views — no per-step gradient allocation), so the existing optimizers
-work unchanged.  Every kernel mirrors its autograd twin's operation
-order, which makes compiled *partial* distillation bit-identical to
-the define-by-run loop; the parity tests in
-``tests/test_engine_training.py`` assert this end to end.
-
-Full distillation compiles the same way with the whole forward as the
-traced function (gradient flow into the frame input is skipped because
-inputs are roots, exactly as ``requires_grad=False`` does in autograd).
-Full mode is numerically *close* rather than bitwise: the Figure-3b
-skip tensors have three gradient consumers, and float32 summation
-order across three terms is not associative — autograd's topological
-order and the reversed-step order here disagree in the last ulp, which
-chaotic online optimisation then amplifies.  For that reason the
-trainer only uses the compiled full-mode step behind the
-``REPRO_ENGINE_FULL`` opt-in (see :func:`repro.engine.full_train_enabled`):
-the reproduction's published full-distillation numbers must not depend
-on the engine flag.
+work unchanged.  The caller owns ``optimizer.zero_grad()`` /
+``optimizer.step()``, exactly as with the autograd loop.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.adjoint import generate_adjoint, leaf_parameters
 from repro.engine.compiler import CompiledPlan, build_steps, trace_forward
 from repro.engine.kernels import UntraceableError
 
@@ -51,6 +53,10 @@ class CrossEntropyHead:
         self._exp = np.empty(logits_shape, np.float32)
         self._softmax = np.empty(logits_shape, np.float32)
         self._gflat = np.zeros((n, c, self.hw), np.float32)
+        # The unweighted case uses the same unit map every step; build
+        # it (and its sum) once instead of allocating per forward.
+        self._unit_weights = np.ones((n, self.hw), dtype=np.float32)
+        self._unit_norm = float(self._unit_weights.sum())
         self._idx: Optional[np.ndarray] = None
         self._weights: Optional[np.ndarray] = None
         self._norm = 1.0
@@ -73,10 +79,11 @@ class CrossEntropyHead:
         idx = target.reshape(n, self.hw)
         gathered = np.take_along_axis(flat, idx[:, None, :], axis=1)[:, 0, :]
         if weight_map is None:
-            weights = np.ones((n, self.hw), dtype=np.float32)
+            weights = self._unit_weights
+            norm = self._unit_norm
         else:
             weights = np.asarray(weight_map, dtype=np.float32).reshape(n, self.hw)
-        norm = float(weights.sum())
+            norm = float(weights.sum())
         loss = np.asarray(-(gathered * weights).sum() / norm, dtype=np.float32)
         self._idx, self._weights, self._norm = idx, weights, norm
         return float(loss)
@@ -96,15 +103,12 @@ class CrossEntropyHead:
 
 
 class CompiledTrainStep:
-    """One fused optimisation step: forward, loss, backward.
+    """One fused optimisation step: forward plan, loss, adjoint plan.
 
     ``run(inputs, target, weight_map)`` executes the compiled forward on
     the (cached) input features, evaluates the weighted cross-entropy,
-    and back-propagates through the compiled kernels, installing
-    gradients on the trainable parameters.  Returns the loss value.
-
-    The caller owns ``optimizer.zero_grad()`` / ``optimizer.step()``,
-    exactly as with the autograd loop.
+    and runs the generated adjoint plan, installing gradients on the
+    trainable parameters.  Returns the loss value.
     """
 
     weight_static = False
@@ -113,8 +117,8 @@ class CompiledTrainStep:
         records, inputs, outputs = trace_forward(fn, example_inputs)
         if len(outputs) != 1:
             raise UntraceableError("train step expects a single logits output")
-        steps, shapes, input_slots, output_slots = build_steps(
-            records, inputs, outputs, training=True
+        steps, shapes, input_slots, output_slots, step_of_record = build_steps(
+            records, inputs, outputs, training=True, with_lowering=True
         )
         self._logits_slot = output_slots[0]
         if self._logits_slot in input_slots:
@@ -135,9 +139,49 @@ class CompiledTrainStep:
         self._loss = CrossEntropyHead(shapes[self._logits_slot])
         self.num_kernels = len(steps)
         self._bn_steps = [s for s in steps if hasattr(s, "commit_running_stats")]
+        # Everything the adjoint generator needs to (re)build a schedule
+        # when the freeze boundary moves.  Record/tensor ids are only
+        # ever compared against each other in these structures, so they
+        # stay valid after the traced tensors are collected.
+        self._records = records
+        self._input_ids = tuple(id(t) for t in inputs)
+        self._logits_id = id(outputs[0])
+        self._step_of_record = step_of_record
+        self._slot_shapes = shapes
+        self._leaf_params = leaf_parameters(records)
+        self._adjoint_sig: Optional[tuple] = None
+        #: The generated backward pass, a CompiledPlan of vjp steps
+        #: (kind "adjoint") sharing the forward plan's environment.
+        self.adjoint: Optional[CompiledPlan] = None
+        self._build_adjoint()
         #: True when forward state (activations, saved columns, pending
         #: BN statistics) is valid and awaiting finish_step().
         self.has_pending_forward = False
+
+    def _requires_sig(self) -> tuple:
+        return tuple(p.requires_grad for p in self._leaf_params)
+
+    def _build_adjoint(self) -> None:
+        """Generate the adjoint plan for the current freeze boundary.
+
+        Autograd's traversal prunes frozen subtrees via live
+        ``requires_grad`` flags, so the schedule is a function of the
+        freeze state: cache it under that signature and regenerate only
+        when a parameter is frozen or unfrozen between steps.
+        """
+        self.adjoint = generate_adjoint(
+            self._records,
+            self._input_ids,
+            self._logits_id,
+            self._steps,
+            self._step_of_record,
+            self._slot_shapes,
+            self._plan._env,
+            self._gbufs,
+            self._loss,
+            self._logits_slot,
+        )
+        self._adjoint_sig = self._requires_sig()
 
     def forward_only(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         """Run the compiled forward; returns the logits buffer.
@@ -164,12 +208,12 @@ class CompiledTrainStep:
             bn.commit_running_stats()
         env = self._plan._env
         loss = self._loss.forward(env[self._logits_slot], target, weight_map)
+        if self._adjoint_sig != self._requires_sig():
+            self._build_adjoint()
         for g in self._gbufs:
             if g is not None:
                 g.fill(0.0)
-        self._loss.backward(self._gbufs[self._logits_slot])
-        for step in reversed(self._steps):
-            step.backward(env, self._gbufs)
+        self.adjoint.run()
         self.has_pending_forward = False
         return loss
 

@@ -306,6 +306,109 @@ def measure_engine_speedup(
     }
 
 
+def measure_train_speedup(
+    num_frames: int = 4,
+    width: float = 0.5,
+    category: str = "fixed-animals",
+    pretrain_steps: int = 40,
+    max_updates: int = 8,
+    pr: Optional[str] = None,
+) -> Dict:
+    """Benchmark the full-mode compiled train step (ISSUE-9).
+
+    Full distillation now rides the engine end to end: a compiled
+    forward plus the *generated adjoint* plan
+    (:mod:`repro.engine.adjoint`), whose schedule replays autograd's
+    traversal bitwise.  This bench runs the same full-mode key-frame
+    distillation loop twice — interpreted define-by-run autograd
+    (engine disabled, the seed path) and the compiled step — and
+    records the per-optimisation-step latency ratio, floor-enforced at
+    >= 1.5x by ``benchmarks/test_perf_train.py``.  The losses, steps,
+    and metrics of the two legs are compared exactly: the speedup is
+    only admissible because the answer is bit-identical.
+    """
+    from repro.distill.config import DistillMode
+
+    spec = _category(category)
+    frames = _materialise_frames(spec, num_frames)
+    pretrained_student(width, 0, pretrain_steps, _FRAME_HW)
+    config = DistillConfig(
+        mode=DistillMode.FULL, max_updates=max_updates, threshold=0.999
+    )
+
+    def run_leg(enabled: bool) -> Tuple[float, int, list]:
+        previous = engine.set_enabled(enabled)
+        try:
+            # Fresh student per leg from the shared checkpoint (each
+            # load deep-copies), so both legs train identical weights.
+            student = pretrained_student(width, 0, pretrain_steps, _FRAME_HW)
+            trainer = StudentTrainer(student, config)
+            trainer.train(*frames[0])  # warm-up: plan compile, caches
+            results = []
+            start = time.perf_counter()
+            for frame, label in frames:
+                results.append(trainer.train(frame, label))
+            elapsed = time.perf_counter() - start
+        finally:
+            engine.set_enabled(previous)
+        return elapsed, sum(r.steps for r in results), results
+
+    seed_wall, seed_steps, seed_results = run_leg(False)
+    engine_wall, engine_steps, engine_results = run_leg(True)
+    identical = seed_steps == engine_steps and all(
+        a.losses == b.losses and a.metric == b.metric
+        for a, b in zip(seed_results, engine_results)
+    )
+    seed_step_ms = 1000 * seed_wall / max(seed_steps, 1)
+    engine_step_ms = 1000 * engine_wall / max(engine_steps, 1)
+    return {
+        **record_meta("train-step", pr),
+        "kind": "train",
+        "protocol": {
+            "scheme": "full",
+            "category": category,
+            "num_frames": num_frames,
+            "max_updates": max_updates,
+            "student_width": width,
+            "frame_hw": list(_FRAME_HW),
+            "pretrain_steps": pretrain_steps,
+        },
+        "seed_path": {
+            "wall_time_s": round(seed_wall, 3),
+            "steps": seed_steps,
+            "step_ms": round(seed_step_ms, 3),
+        },
+        "engine_path": {
+            "wall_time_s": round(engine_wall, 3),
+            "steps": engine_steps,
+            "step_ms": round(engine_step_ms, 3),
+        },
+        "speedup": round(seed_step_ms / engine_step_ms, 3),
+        "bit_identical": identical,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def format_train_record(record: Dict) -> str:
+    """One-paragraph human summary of a train-step record."""
+    proto = record["protocol"]
+    seed, eng = record["seed_path"], record["engine_path"]
+    return (
+        f"train perf — full-mode distillation, {proto['num_frames']} key "
+        f"frames x up to {proto['max_updates']} steps ({proto['category']}, "
+        f"width {proto['student_width']}):\n"
+        f"  step: autograd {seed['step_ms']:.2f}ms -> compiled adjoint "
+        f"{eng['step_ms']:.2f}ms ({record['speedup']:.2f}x over "
+        f"{eng['steps']} steps)\n"
+        f"  losses/metrics bit-identical across paths: "
+        f"{record['bit_identical']}\n"
+    )
+
+
 def measure_pool_throughput(
     num_sessions: int = 16,
     num_frames: int = 64,

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import select as _select
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -74,6 +75,12 @@ from repro.transport import wire
 _YIELD_SWEEPS = 256
 _NAP_S = 50e-6
 _NAP_MAX_S = 1e-3
+
+#: Cap on one doorbell select: the runtime still has its own clocks to
+#: honour (idle deadline, reaper, cohort straggler window), and the
+#: bounded wait doubles as the lost-wakeup safety net — the waiting
+#: flags are plain stores, so a bell can race past an arming sweep.
+_DOORBELL_WAIT_MAX_S = 0.25
 
 
 # ----------------------------------------------------------------------
@@ -841,6 +848,50 @@ class ServerRuntime:
             and (expected is None or len(connections) >= expected)
         )
 
+    def _doorbell_nap(self, connections, closed, idle_deadline,
+                      next_reap, cohort_deadline) -> bool:
+        """Park the idle sweep on the connections' shm doorbells.
+
+        Every open connection must expose a pollable ``doorbell_fd`` —
+        one socket (or spawn-severed ring) in the mix and this returns
+        False, leaving the blind-nap backoff in charge for everyone.
+        The select wakes the sweep the microsecond any client
+        publishes, instead of after a nap quantum; its timeout is the
+        earliest of the runtime's own clocks, capped by the
+        lost-wakeup safety bound.
+        """
+        fds = []
+        open_conns = []
+        for index, connection in enumerate(connections):
+            if index in closed:
+                continue
+            fd_of = getattr(connection, "doorbell_fd", None)
+            fd = fd_of() if fd_of is not None else None
+            if fd is None:
+                return False
+            open_conns.append(connection)
+            fds.append(fd)
+        if not fds:
+            return False
+        armed = [c for c in open_conns if c.arm_doorbell()]
+        try:
+            # Arm-then-recheck: a publish that raced the arming saw no
+            # waiting flag and rang no bell.
+            if any(c.poll() for c in open_conns):
+                return True
+            wake = idle_deadline
+            if next_reap is not None:
+                wake = min(wake, next_reap)
+            if cohort_deadline is not None:
+                wake = min(wake, cohort_deadline)
+            timeout = max(0.0, min(wake - time.monotonic(),
+                                   _DOORBELL_WAIT_MAX_S))
+            _select.select(fds, [], [], timeout)
+        finally:
+            for connection in armed:
+                connection.disarm_doorbell()
+        return True
+
     def run(self, listener) -> Dict[int, int]:
         """Serve until the population drains (see :meth:`_quiesced`).
 
@@ -1044,6 +1095,9 @@ class ServerRuntime:
                     f"connection(s) still up"
                     + (f" (listener expects {expected})" if expected else "")
                 )
+            if self._doorbell_nap(connections, closed, idle_deadline,
+                                  next_reap, cohort_deadline):
+                continue
             time.sleep(nap)
             nap = min(2 * nap, _NAP_MAX_S)
         return dict(self.frames_served)

@@ -22,9 +22,28 @@ single-consumer rings living in ``multiprocessing.shared_memory``:
 
 Messages larger than a slot are fragmented over consecutive slots; the
 wire header's total length on the first fragment tells the reader how
-many to reassemble.  Both sides spin briefly and then sleep in 50 µs
-naps, with a hard deadline so a lost peer raises ``TimeoutError``
-instead of hanging a test run.
+many to reassemble.  Both sides spin briefly, then sleep on an
+``os.eventfd`` *doorbell*: each ring carries a publish doorbell (rung
+by the producer for a waiting consumer) and a release doorbell (rung
+by the consumer for a waiting producer), plus two shared waiting-flag
+words so the fast path pays one flag load instead of a syscall.  The
+doorbell fds are plain pollable file descriptors, so a server
+multiplexing many rings can ``select`` on all of them at once instead
+of napping (see ``ShmTransport.doorbell_fd``).  Where ``os.eventfd``
+is unavailable — or the peer was ``spawn``-ed rather than forked, so
+the fd numbers in the descriptor belong to some other process's fd
+table (detected via a per-import lineage cookie) — the wait degrades
+to the original 50 µs exponential naps.  Either way a hard deadline
+makes a lost peer raise ``TimeoutError`` instead of hanging a test
+run.
+
+The doorbell is a latency optimisation, not the correctness story:
+pure-Python stores give no StoreLoad ordering between "peer sets its
+waiting flag" and "we read it after publishing", so a wakeup can be
+lost.  The waiter therefore re-checks the sequence after raising its
+flag and bounds every ``select`` by a nap-scale timeout — the nap
+schedule is the safety net, the doorbell just makes the common case
+wake in microseconds.
 
 Memory-ordering scope: publication relies on the payload stores being
 visible before the sequence-counter store, which plain (fence-free)
@@ -40,6 +59,8 @@ silently corrupt data.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import select as _select
 import time
 from multiprocessing import shared_memory
 from typing import Any, Callable, Optional, Tuple
@@ -69,6 +90,46 @@ _YIELD_SPINS = 512
 _NAP_S = 50e-6
 _NAP_MAX_S = 1e-3
 
+#: With a doorbell armed the wait is fd-driven, so the bounded select
+#: timeout (the lost-wakeup safety net) can back off further than a
+#: blind nap without costing latency in the common case.
+_DOORBELL_NAP_MAX_S = 20e-3
+
+#: Whether this platform has eventfd at all (Linux; Python >= 3.10).
+_HAVE_EVENTFD = hasattr(os, "eventfd")
+
+#: Per-import lineage cookie.  Doorbell fds in a ring descriptor are
+#: only meaningful to processes sharing the creator's fd table lineage
+#: — i.e. forked children, which inherit both the fd *and* this module
+#: global.  A spawned child re-imports the module, draws a fresh
+#: cookie, sees a mismatch, and falls back to naps instead of
+#: selecting on an fd number that belongs to someone else.
+_LINEAGE = os.urandom(8)
+
+#: Byte offsets of the shared waiting-flag words at the head of the
+#: segment: one u64 per role, set while that side is parked on its
+#: doorbell so the peer knows a publish/release must also ring.
+_FLAG_WORDS = 2
+_FLAGS_NBYTES = 8 * _FLAG_WORDS
+_PRODUCER_WAITING = 0
+_CONSUMER_WAITING = 1
+
+
+def _ring_bell(fd: int) -> None:
+    """Best-effort eventfd signal (the nap bound covers any failure)."""
+    try:
+        os.eventfd_write(fd, 1)
+    except (BlockingIOError, OSError):  # pragma: no cover - overflow/close
+        pass
+
+
+def _drain_bell(fd: int) -> None:
+    """Reset an eventfd counter after a wakeup (or a stale ring)."""
+    try:
+        os.eventfd_read(fd)
+    except (BlockingIOError, OSError):
+        pass
+
 
 class ShmRing:
     """One direction of the link: an SPSC slot ring in shared memory.
@@ -91,7 +152,7 @@ class ShmRing:
         self.slots = slots
         self.slot_nbytes = slot_nbytes
         self._stride = 8 + slot_nbytes  # u64 fragment length + payload
-        total = 8 * slots + self._stride * slots
+        total = _FLAGS_NBYTES + 8 * slots + self._stride * slots
         if name is None:
             self._shm = shared_memory.SharedMemory(create=True, size=total)
             self._owner = True
@@ -99,8 +160,9 @@ class ShmRing:
             self._shm = shared_memory.SharedMemory(name=name)
             self._owner = False
         buf = self._shm.buf
-        self._seq = np.ndarray((slots,), np.uint64, buf)
-        base = 8 * slots
+        self._flags = np.ndarray((_FLAG_WORDS,), np.uint64, buf)
+        self._seq = np.ndarray((slots,), np.uint64, buf, _FLAGS_NBYTES)
+        base = _FLAGS_NBYTES + 8 * slots
         self._lens = [
             np.ndarray((), np.uint64, buf, base + i * self._stride)
             for i in range(slots)
@@ -109,8 +171,19 @@ class ShmRing:
             buf[base + i * self._stride + 8 : base + (i + 1) * self._stride]
             for i in range(slots)
         ]
+        # Doorbells: publish (producer rings, consumer sleeps on) and
+        # release (consumer rings, producer sleeps on).  Created by the
+        # owner; attachers receive the fds through the descriptor when
+        # their fd-table lineage matches (fork), else run bell-less.
+        self._pub_fd: Optional[int] = None
+        self._rel_fd: Optional[int] = None
         if self._owner:
+            self._flags[:] = 0
             self._seq[:] = np.arange(slots, dtype=np.uint64)
+            if _HAVE_EVENTFD:
+                flags = os.EFD_NONBLOCK | os.EFD_CLOEXEC
+                self._pub_fd = os.eventfd(0, flags)
+                self._rel_fd = os.eventfd(0, flags)
         #: Producer/consumer cursors are process-local: each ring has
         #: exactly one producer and one consumer process.
         self._head = 0
@@ -121,14 +194,27 @@ class ShmRing:
     def name(self) -> str:
         return self._shm.name
 
-    def describe(self) -> Tuple[str, int, int]:
-        """(segment name, slots, slot bytes) — enough to attach."""
-        return (self._shm.name, self.slots, self.slot_nbytes)
+    def describe(self) -> tuple:
+        """Opaque attach descriptor: segment name and geometry, plus the
+        doorbell fds and the creator's fd-table lineage cookie."""
+        return (
+            self._shm.name, self.slots, self.slot_nbytes,
+            self._pub_fd, self._rel_fd, _LINEAGE,
+        )
 
     @classmethod
-    def attach(cls, desc: Tuple[str, int, int]) -> "ShmRing":
-        name, slots, slot_nbytes = desc
-        return cls(slots=slots, slot_nbytes=slot_nbytes, name=name)
+    def attach(cls, desc: tuple) -> "ShmRing":
+        name, slots, slot_nbytes, pub_fd, rel_fd, cookie = desc
+        ring = cls(slots=slots, slot_nbytes=slot_nbytes, name=name)
+        # Adopt the doorbells only when the fd numbers are known to
+        # resolve in *this* process's fd table: same process, or a fork
+        # child of the creator (which inherited this module's cookie
+        # along with the fds).  A spawn child re-imported the module —
+        # fresh cookie, meaningless fd numbers — and keeps napping.
+        if cookie == _LINEAGE:
+            ring._pub_fd = pub_fd
+            ring._rel_fd = rel_fd
+        return ring
 
     # ------------------------------------------------------------------
     def _await_seq(self, index: int, want: int, deadline: float) -> None:
@@ -140,6 +226,10 @@ class ShmRing:
         # only now (the hot already-published path above pays nothing),
         # and only when telemetry is armed.
         t0 = time.monotonic() if obs.enabled() else None
+        producer = want == index  # else: consumer awaiting a publish
+        fd = self._rel_fd if producer else self._pub_fd
+        role = _PRODUCER_WAITING if producer else _CONSUMER_WAITING
+        flags = self._flags
         spins = 0
         nap = _NAP_S
         while seq[slot] != want:
@@ -147,18 +237,43 @@ class ShmRing:
             if spins < _YIELD_SPINS:
                 time.sleep(0)
                 continue
-            if (spins & 63) == 0 and time.monotonic() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"shm ring handshake timed out waiting for slot {slot} "
                     f"(seq {int(seq[slot])}, want {want})"
                 )
-            time.sleep(nap)
-            nap = min(2 * nap, _NAP_MAX_S)
+            if fd is not None:
+                # Park on the doorbell: declare the wait, re-check the
+                # sequence (the peer may have published between our
+                # check and the flag store — it would then skip the
+                # bell), and sleep on the fd.  The timeout is the
+                # lost-wakeup safety net, so it may back off further
+                # than a blind nap could afford.
+                flags[role] = 1
+                try:
+                    if seq[slot] == want:
+                        break
+                    wait = min(nap, max(0.0, deadline - time.monotonic()))
+                    _select.select([fd], [], [], wait)
+                    _drain_bell(fd)
+                finally:
+                    flags[role] = 0
+                nap = min(2 * nap, _DOORBELL_NAP_MAX_S)
+            else:
+                time.sleep(nap)
+                nap = min(2 * nap, _NAP_MAX_S)
         if t0 is not None:
             obs.counter("shm.waits").inc()
             obs.histogram("shm.wait_s").observe(time.monotonic() - t0)
 
     # -- producer side -------------------------------------------------
+    def _publish(self, slot: int) -> None:
+        """Store the publish sequence; ring only for a parked consumer."""
+        self._seq[slot] = self._head + 1
+        self._head += 1
+        if self._pub_fd is not None and self._flags[_CONSUMER_WAITING]:
+            _ring_bell(self._pub_fd)
+
     def send_message(self, obj: wire.Message, timeout_s: float, session: int = 0) -> int:
         """Encode and publish one message; returns its wire size.
 
@@ -173,8 +288,7 @@ class ShmRing:
             slot = self._head % self.slots
             wire.encode_into(obj, self._payloads[slot], session=session)
             self._lens[slot][...] = total
-            self._seq[slot] = self._head + 1
-            self._head += 1
+            self._publish(slot)
             return total
         # Large message: encode once into local scratch, stream the
         # fragments through consecutive slots.
@@ -194,8 +308,7 @@ class ShmRing:
             n = min(self.slot_nbytes, total - offset)
             self._payloads[slot][:n] = view[offset : offset + n]
             self._lens[slot][...] = n
-            self._seq[slot] = self._head + 1
-            self._head += 1
+            self._publish(slot)
             offset += n
         return total
 
@@ -204,10 +317,37 @@ class ShmRing:
         """True when the next message's first fragment is published."""
         return bool(self._seq[self._tail % self.slots] == self._tail + 1)
 
+    @property
+    def doorbell_fd(self) -> Optional[int]:
+        """Pollable fd signalled on publish while the doorbell is armed
+        (None without eventfd or across a spawn boundary)."""
+        return self._pub_fd
+
+    def arm_doorbell(self) -> bool:
+        """Declare this consumer parked: publishes now ring the bell.
+
+        Returns False when no doorbell is available; the caller must
+        then poll.  Re-check :meth:`poll` *after* arming — a publish
+        that raced the flag store rings no bell.
+        """
+        if self._pub_fd is None or self._flags is None:
+            return False
+        self._flags[_CONSUMER_WAITING] = 1
+        return True
+
+    def disarm_doorbell(self) -> None:
+        """Clear the parked flag and drain any pending bell edge."""
+        if self._flags is not None:
+            self._flags[_CONSUMER_WAITING] = 0
+        if self._pub_fd is not None:
+            _drain_bell(self._pub_fd)
+
     def _release(self) -> None:
         slot = self._tail % self.slots
         self._seq[slot] = self._tail + self.slots
         self._tail += 1
+        if self._rel_fd is not None and self._flags[_PRODUCER_WAITING]:
+            _ring_bell(self._rel_fd)
 
     def recv_message(self, timeout_s: float) -> Tuple[wire.Message, int]:
         """Consume one message; returns ``(payload, wire nbytes)``."""
@@ -255,8 +395,21 @@ class ShmRing:
         """Drop the mapping; the creating side also unlinks the segment."""
         if self._shm is None:
             return
+        # The owner created the doorbell fds, so only the owner closes
+        # them — an in-process attacher shares the very same fd table
+        # entries (a fork child's copies die with the child).
+        if self._owner:
+            for fd in (self._pub_fd, self._rel_fd):
+                if fd is not None:
+                    try:
+                        os.close(fd)
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+        self._pub_fd = None
+        self._rel_fd = None
         # Views into the shared buffer must die before the mmap can
         # close (CPython refcounting makes the drop immediate).
+        self._flags = None
         self._seq = None
         self._lens = None
         for view in self._payloads or ():
@@ -347,6 +500,20 @@ class ShmTransport(Endpoint):
     def poll(self) -> bool:
         """True when a receive would not block."""
         return self._rx.poll()
+
+    def doorbell_fd(self) -> Optional[int]:
+        """Fd a sweep loop can ``select`` on for incoming messages, or
+        None when this link has no usable doorbell (no eventfd, or the
+        peer lives across a spawn boundary)."""
+        return self._rx.doorbell_fd
+
+    def arm_doorbell(self) -> bool:
+        """Arm the receive doorbell; re-check :meth:`poll` after arming
+        (a racing publish rings no bell).  False = no doorbell here."""
+        return self._rx.arm_doorbell()
+
+    def disarm_doorbell(self) -> None:
+        self._rx.disarm_doorbell()
 
     def send_tagged(self, session: int, obj: Any) -> None:
         """Send ``obj`` tagged with a session id (wire header field)."""

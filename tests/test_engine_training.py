@@ -35,10 +35,9 @@ def frame_and_label():
 
 
 def run_training(mode, enabled, frame, label, seed=1, max_updates=6,
-                 threshold=0.97, freeze_modules=None, full_train=False):
+                 threshold=0.97, freeze_modules=None):
     student = StudentNet(width=0.5, seed=seed)
     previous = engine.set_enabled(enabled)
-    previous_full = engine.set_full_train_enabled(full_train)
     try:
         trainer = StudentTrainer(
             student,
@@ -48,7 +47,6 @@ def run_training(mode, enabled, frame, label, seed=1, max_updates=6,
         result = trainer.train(frame, label)
     finally:
         engine.set_enabled(previous)
-        engine.set_full_train_enabled(previous_full)
     return result, student
 
 
@@ -127,9 +125,11 @@ class TestPartialParity:
 
 class TestFullModeParity:
     def test_full_mode_default_is_seed_exact(self, frame_and_label):
-        # Without the REPRO_ENGINE_FULL opt-in, full distillation must
-        # use the seed autograd loop: published full-mode numbers cannot
-        # depend on whether the engine is enabled.
+        # Full distillation now rides the generated adjoint plan by
+        # default, and the adjoint's schedule reproduces autograd's
+        # accumulation order bitwise — including the 3-consumer
+        # Figure-3b skip tensors.  Published full-mode numbers therefore
+        # still cannot depend on whether the engine is enabled.
         frame, label = frame_and_label
         ref, student_ref = run_training(DistillMode.FULL, False, frame, label)
         got, student_got = run_training(DistillMode.FULL, True, frame, label)
@@ -140,26 +140,20 @@ class TestFullModeParity:
         for key in ref_state:
             np.testing.assert_array_equal(ref_state[key], got_state[key], err_msg=key)
 
-    def test_full_mode_opt_in_close_to_seed(self, frame_and_label):
-        # Opted in (REPRO_ENGINE_FULL=1), full distillation compiles but
-        # accumulates gradients through the Figure-3b skip tensors
-        # (3 consumers), where float32 summation order is not
-        # associative — the compiled loop tracks the seed loop closely
-        # at first and drifts slowly (lr=0.01 Adam amplifies last-ulp
-        # gradient differences), so tolerances widen per step.
+    def test_full_mode_compiled_runner_selected(self, frame_and_label):
+        # The bit-exactness above must not come from silently falling
+        # back to autograd: the trainer has to pick the compiled tier.
         frame, label = frame_and_label
-        ref, _ = run_training(DistillMode.FULL, False, frame, label, max_updates=4)
-        got, _ = run_training(DistillMode.FULL, True, frame, label, max_updates=4,
-                              full_train=True)
-        assert ref.steps == got.steps
-        np.testing.assert_allclose(ref.losses[:2], got.losses[:2], rtol=1e-4)
-        np.testing.assert_allclose(ref.losses, got.losses, rtol=5e-2)
-        assert ref.metric == pytest.approx(got.metric, abs=0.1)
+        student = StudentNet(width=0.5, seed=1)
+        trainer = StudentTrainer(student, DistillConfig(mode=DistillMode.FULL))
+        x4 = frame[None]
+        runner = trainer._make_step_runner(frame, x4, label[None], None)
+        assert isinstance(runner, _CompiledStepRunner)
 
-    def test_full_mode_opt_in_updates_bn_buffers(self, frame_and_label):
+    def test_full_mode_updates_bn_buffers(self, frame_and_label):
         frame, label = frame_and_label
         _, student = run_training(DistillMode.FULL, True, frame, label,
-                                  max_updates=3, full_train=True)
+                                  max_updates=3)
         fresh = StudentNet(width=0.5, seed=1)
         drift = max(
             np.abs(b - f).max()

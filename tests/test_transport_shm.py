@@ -5,6 +5,9 @@ endpoint semantics (blocking and non-blocking), the cross-process
 path, and the transport registry.
 """
 
+import os
+import select
+
 import numpy as np
 import pytest
 
@@ -229,3 +232,83 @@ class TestRegistry:
             assert registry.make_pair("test-loop") == (1, 2)
         finally:
             registry._REGISTRY.pop("test-loop")
+
+
+@pytest.mark.skipif(not hasattr(os, "eventfd"), reason="eventfd is Linux-only")
+class TestDoorbell:
+    """The eventfd doorbells that replaced the blind nap escalation."""
+
+    def test_in_process_attach_adopts_fds(self):
+        ring = ShmRing(slots=2, slot_nbytes=4096)
+        try:
+            assert ring.doorbell_fd is not None
+            other = ShmRing.attach(ring.describe())
+            assert other.doorbell_fd == ring.doorbell_fd
+            other.close()
+        finally:
+            ring.close()
+
+    def test_foreign_lineage_falls_back_to_naps(self):
+        # A spawn child re-imports the module and draws a new cookie;
+        # the fd numbers in the descriptor then belong to a foreign fd
+        # table and must be ignored, not selected on.
+        ring = ShmRing(slots=2, slot_nbytes=4096)
+        try:
+            name, slots, nbytes, pub, rel, _cookie = ring.describe()
+            foreign = ShmRing.attach((name, slots, nbytes, pub, rel, b"\0" * 8))
+            assert foreign.doorbell_fd is None
+            assert not foreign.arm_doorbell()
+            # The ring still works, just bell-less.
+            ring.send_message(np.arange(3, dtype=np.int64), timeout_s=1.0)
+            out, _ = foreign.recv_message(timeout_s=1.0)
+            np.testing.assert_array_equal(out, np.arange(3))
+            foreign.close()
+        finally:
+            ring.close()
+
+    def test_armed_bell_rings_on_publish(self):
+        a, b = _pair()
+        try:
+            fd = b.doorbell_fd()
+            assert fd is not None
+            assert b.arm_doorbell()
+            assert not b.poll()
+            payload = np.ones(4, np.float32)
+            a.send(payload, payload.nbytes)
+            readable, _, _ = select.select([fd], [], [], 1.0)
+            assert readable == [fd]
+            b.disarm_doorbell()
+            np.testing.assert_array_equal(b.recv(), payload)
+        finally:
+            b.close(), a.close()
+
+    def test_unarmed_publish_skips_the_bell(self):
+        # The fast path must not pay an eventfd_write per message: with
+        # no waiter declared, publishing leaves the fd silent.
+        a, b = _pair()
+        try:
+            fd = b.doorbell_fd()
+            a.send(np.ones(2, np.float32), 8)
+            readable, _, _ = select.select([fd], [], [], 0.0)
+            assert readable == []
+            b.recv()
+        finally:
+            b.close(), a.close()
+
+    def test_fork_child_wakes_on_doorbell(self):
+        # The cross-process path: the forked echo server's waits go
+        # through the inherited doorbell fds (same lineage cookie), and
+        # the protocol is indistinguishable from the nap version.
+        endpoint, proc = run_in_subprocess(_echo_server, timeout_s=30.0)
+        try:
+            assert endpoint.doorbell_fd() is not None
+            frame = np.random.default_rng(7).random((3, 16, 16)).astype(np.float32)
+            for _ in range(3):
+                endpoint.send(frame, nbytes=frame.nbytes)
+                out = endpoint.recv()
+                assert out.tobytes() == frame.tobytes()
+        finally:
+            endpoint.send(None, nbytes=1)
+            proc.join(timeout=20)
+            endpoint.close()
+        assert proc.exitcode == 0
