@@ -1,0 +1,62 @@
+"""Benchmark: K fleet shards behind one front door vs one runtime.
+
+The ISSUE-10 acceptance floor: a K = 2 shard fleet behind one
+SO_REUSEPORT front door must be >= 1.4x the throughput of ONE
+multiplexed ServerRuntime on the two-tenant paced workload (8 wall-
+clock-paced client processes whose two groups have incompatible
+key-frame cadences) — with per-session ``RunStats`` bit-identical
+across both paths.
+
+On a single core the win is tenant isolation, not parallelism: the
+single runtime's gather window is repeatedly held open by the slow
+group's key cadence (which is longer than the window, so every fast-
+group cohort waits out the full window for stragglers that never
+come), while admission-time placement gives each shard a homogeneous
+cohort population that flushes "full" instantly.  Measured 1.8x quiet
+at K = 2, N = 2 + 6.  Regenerate manually with::
+
+    PYTHONPATH=src python scripts/bench_perf.py --fleet 2
+"""
+
+import pytest
+
+from repro.experiments.perf import (
+    append_record,
+    format_fleet_record,
+    measure_fleet_throughput,
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.mark.benchmark(group="perf_fleet")
+def test_two_shards_beat_one_runtime(results_sink):
+    record = measure_fleet_throughput(n_shards=2)
+    if record["speedup"] < 1.4:
+        # One remeasure on a marginal miss, same discipline as the
+        # serve-many batching floor: a heavyweight mid-suite pytest
+        # process can contend the paced clients enough to blur the
+        # stall contrast (measured 1.8x quiet); the correctness
+        # assertions below still run on the final record either way.
+        record = measure_fleet_throughput(n_shards=2)
+    text = format_fleet_record(record)
+    print(text)
+    results_sink(text)
+
+    # Correctness first: the speedup only counts if every fleet
+    # session is observably the same session the single runtime ran.
+    assert record["bit_identical"]
+    assert record["single_runtime"]["server_processes"] == 1
+    assert record["fleet"]["server_processes"] == 2
+    # Placement accounting: all 8 clients placed, and every claim
+    # released by the drain (the report snapshots the ledger after the
+    # shards quiesce, so leftover load would be a leak).
+    assert record["fleet"]["placed"] == record["protocol"]["num_clients"]
+    assert sum(record["fleet"]["loads"]) == 0
+    assert record["fleet"]["exit_reasons"] == ["quiesced", "quiesced"]
+    # The acceptance floor (ISSUE 10): >= 1.4x over the single
+    # multiplexed runtime at N = 8 on one core.
+    assert record["speedup"] >= 1.4
+    # Append only after the floor holds, so a failing run cannot
+    # pollute the committed perf trajectory.
+    append_record(record)

@@ -30,6 +30,14 @@ neural teacher by default and also measures the unbatched mux as an
 in-record A/B (``batch_speedup``); ``--no-batch`` serves key frames
 inline per connection (the PR-6 path) instead.
 
+``--fleet K`` benchmarks the sharded server fleet: K runtime processes
+behind one SO_REUSEPORT front door serving two paced tenant groups
+with incompatible key-frame cadences, against ONE multiplexed runtime
+serving the same 8 clients — per-session RunStats bit-identical, the
+speedup floor-enforced >= 1.4x by ``benchmarks/test_perf_fleet.py``.
+On a single core the number measures tenant isolation (placement keeps
+each shard's gather cohorts homogeneous), not parallelism.
+
 ``--train`` benchmarks the full-mode compiled train step: the same
 key-frame distillation loop run through interpreted autograd and then
 through the compiled forward + generated adjoint plan, recording the
@@ -68,6 +76,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments.perf import (  # noqa: E402
     DEFAULT_RESULTS_PATH,
     append_record,
+    format_fleet_record,
     format_obs_record,
     format_pool_record,
     format_record,
@@ -76,6 +85,7 @@ from repro.experiments.perf import (  # noqa: E402
     format_train_record,
     format_transport_record,
     measure_engine_speedup,
+    measure_fleet_throughput,
     measure_obs_overhead,
     measure_pool_throughput,
     measure_serve_many_churn,
@@ -126,6 +136,10 @@ def main() -> int:
                              "GEMMs; --churn always uses the oracle because "
                              "the ADMIT wire frame cannot describe a neural "
                              "teacher)")
+    parser.add_argument("--fleet", type=int, default=None, metavar="K",
+                        help="benchmark K fleet shards behind one front "
+                             "door vs one multiplexed runtime on the "
+                             "two-tenant paced workload (8 clients)")
     parser.add_argument("--storm", default=None, metavar="NAME",
                         choices=("churn-storm", "thundering-herd",
                                  "slow-loris", "scene-cut-burst"),
@@ -185,6 +199,9 @@ def main() -> int:
             pr=args.pr,
         )
         summary = format_obs_record(record)
+    elif args.fleet is not None:
+        record = measure_fleet_throughput(n_shards=args.fleet, pr=args.pr)
+        summary = format_fleet_record(record)
     elif args.storm is not None:
         record = measure_storm(
             name=args.storm,

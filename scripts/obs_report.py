@@ -20,6 +20,11 @@ Usage::
 
     # or produce them first: a small armed serve-many run
     PYTHONPATH=src python scripts/obs_report.py --run --dir /tmp/obs-run
+
+    # or a small armed 2-shard fleet (ISSUE 10): per-shard artifacts
+    # (obs-shard0.json, obs-shard1.json, clients) merge into one fleet
+    # report with a per-shard placement/admission table
+    PYTHONPATH=src python scripts/obs_report.py --run-fleet --dir /tmp/obs-fleet
 """
 
 import argparse
@@ -84,6 +89,96 @@ def run_armed_serve_many(directory: pathlib.Path, n_clients: int = 2,
                 os.environ[key] = value
 
 
+def run_armed_fleet(directory: pathlib.Path, n_shards: int = 2,
+                    n_clients: int = 4, num_frames: int = 8) -> None:
+    """One small fully-armed fleet run that drops per-shard artifacts
+    into ``directory`` — every shard process arms from the inherited
+    environment with source ``shard<k>`` and exports on exit."""
+    import os
+
+    from repro import obs
+    from repro.distill.config import DistillConfig
+    from repro.runtime.session import SessionConfig
+    from repro.serving import start_fleet
+    from repro.serving.runtime import run_churn_processes
+
+    hw = (24, 32)
+
+    def config(width):
+        return SessionConfig(
+            distill=DistillConfig(max_updates=2, threshold=0.7,
+                                  min_stride=4, max_stride=16),
+            student_width=width,
+            pretrain_steps=5,
+        )
+
+    saved = {
+        key: os.environ.get(key) for key in (obs.ENV_FEATURES, obs.ENV_DIR)
+    }
+    os.environ[obs.ENV_FEATURES] = "metrics,trace"
+    os.environ[obs.ENV_DIR] = str(directory)
+    try:
+        handle = start_fleet(n_shards, transport="shm",
+                             n_clients=n_clients, idle_timeout_s=120)
+        try:
+            # Two blueprint keys across the clients, so placement both
+            # spreads (distinct keys) and sticks (repeats).
+            jobs = [
+                (0.1 * i, config(0.25 if i % 2 == 0 else 0.3), hw,
+                 "fixed-people", num_frames, f"obs{i}")
+                for i in range(n_clients)
+            ]
+            run_churn_processes(handle, jobs, timeout_s=180)
+        finally:
+            handle.close()
+        report = handle.fleet_report or {}
+        print(f"armed fleet run done (shard exits: "
+              f"{report.get('exit_reasons')}); artifacts in {directory}")
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def format_fleet_table(artifacts) -> str:
+    """Per-shard placement and admission accounting (ISSUE 10).
+
+    Shard processes export their artifacts with source ``shard<k>``;
+    this table pulls each shard's fleet counters (ADMITs placed here,
+    ADMITs redirected away) next to its admission and serving totals,
+    plus the fleet-wide sums — counters merge by summation, so the
+    totals row is exactly what :func:`merge_snapshots` reports.
+    Returns "" when no shard artifacts are present."""
+    shards = sorted(
+        (a for a in artifacts
+         if str(a.get("source", "")).startswith("shard")),
+        key=lambda a: str(a["source"]),
+    )
+    if not shards:
+        return ""
+    columns = (
+        ("placed", "fleet.placed"),
+        ("redirected", "fleet.redirects"),
+        ("admitted", "admission.accepted"),
+        ("cohorts", "serve.cohorts"),
+    )
+    rows = [("shard", *(label for label, _ in columns))]
+    totals = [0] * len(columns)
+    for artifact in shards:
+        counters = (artifact.get("snapshot") or {}).get("counters", {})
+        values = [int(counters.get(key, 0)) for _, key in columns]
+        totals = [t + v for t, v in zip(totals, values)]
+        rows.append((str(artifact["source"]), *(str(v) for v in values)))
+    rows.append(("fleet", *(str(t) for t in totals)))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [f"fleet placement ({len(shards)} shard(s))"]
+    for row in rows:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
 def format_engine_step_table(snapshot) -> str:
     """Forward vs backward wall time per engine kernel.
 
@@ -139,6 +234,9 @@ def main() -> int:
     parser.add_argument("--run", action="store_true",
                         help="first run a small fully-armed serve-many "
                              "deployment that drops its artifacts in --dir")
+    parser.add_argument("--run-fleet", action="store_true",
+                        help="first run a small fully-armed 2-shard fleet "
+                             "that drops per-shard artifacts in --dir")
     parser.add_argument("--trace-out", type=pathlib.Path, default=None,
                         help="combined Chrome trace path "
                              "(default: <dir>/trace.json)")
@@ -147,6 +245,8 @@ def main() -> int:
     args.dir.mkdir(parents=True, exist_ok=True)
     if args.run:
         run_armed_serve_many(args.dir)
+    if args.run_fleet:
+        run_armed_fleet(args.dir)
 
     artifacts = load_artifacts(args.dir)
     if not artifacts:
@@ -167,6 +267,10 @@ def main() -> int:
         if engine_table:
             print(engine_table)
             print()
+    fleet_table = format_fleet_table(artifacts)
+    if fleet_table:
+        print(fleet_table)
+        print()
 
     events = merge_traces([a.get("trace") or [] for a in artifacts])
     trace_path = args.trace_out or (args.dir / "trace.json")

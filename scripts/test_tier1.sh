@@ -21,6 +21,12 @@ timeout 300 python scripts/smoke_serve_many.py
 # typed-rejected with retry hints, attackers torn down, no shm leak.
 # Hard timeout: a wedged server fails the gate, not hangs it.
 timeout 300 python scripts/smoke_storm.py
+# Fleet smoke (ISSUE 10): two shm shards behind one front door sharing
+# a read-only teacher segment must serve a churned 4-client population
+# bit-identically to in-process runs, drain both shards to "quiesced",
+# drain the placement ledger, and leak no shm segment.  Hard timeout:
+# a wedged director or shard fails the gate, not hangs it.
+timeout 300 python scripts/smoke_fleet.py
 # Observability smoke (ISSUE 8): a fully-armed serve-many run must
 # stay bit-identical to the disarmed in-process run and must yield a
 # parseable Chrome trace plus a merged cross-process metrics table.

@@ -50,9 +50,31 @@ per-connection receive budget against slow-loris peers, and an
 idle-session reaper — all off by default, bit-identical when disabled.
 :mod:`repro.serving.storms` is the seeded adversarial harness that
 proves it: named storm scenarios, each a pure function of a seed.
+
+:mod:`repro.serving.fleet` scales the runtime out: ``start_fleet``
+puts K whole runtimes behind one front door (``SO_REUSEPORT`` fan-in
+for sockets, an accept-and-handoff director for shm rings) with
+admission-time placement — least-loaded plus blueprint affinity,
+recorded in a shared-memory claim ledger so placement is a pure
+function of admission order — wire-v5 ``redirect`` REJECTs naming the
+owning shard, and one read-only digest-checked teacher weight segment
+shared by every shard.  The fleet battery in
+``tests/test_serving_fleet.py`` pins the same invariant as the pool's:
+sharding moves sessions between processes, never changes what any of
+them computes.
 """
 
 from repro.serving.batched import BatchedPredictor, BatchedTeacher
+from repro.serving.fleet import (
+    FleetAddress,
+    FleetHandle,
+    FleetLedger,
+    FleetMember,
+    PlacementPolicy,
+    SharedTeacherSegment,
+    placement_key,
+    start_fleet,
+)
 from repro.serving.overload import (
     LoadTracker,
     OverloadConfig,
@@ -80,6 +102,14 @@ __all__ = [
     "AdmissionError",
     "BatchedPredictor",
     "BatchedTeacher",
+    "FleetAddress",
+    "FleetHandle",
+    "FleetLedger",
+    "FleetMember",
+    "PlacementPolicy",
+    "SharedTeacherSegment",
+    "placement_key",
+    "start_fleet",
     "LoadTracker",
     "OverloadConfig",
     "OverloadController",

@@ -159,6 +159,14 @@ class SessionBlueprint:
                 f"frame geometry {admit.frame_h}x{admit.frame_w} must be "
                 "at least 1x1"
             )
+        if admit.teacher_arch not in ("oracle", "neural"):
+            raise ValueError(f"unknown teacher_arch {admit.teacher_arch!r}")
+        if admit.teacher_width < 1:
+            raise ValueError(
+                f"teacher width {admit.teacher_width} must be >= 1"
+            )
+        if admit.teacher_seed < 0:
+            raise ValueError(f"teacher seed {admit.teacher_seed} must be >= 0")
         distill = DistillConfig(
             threshold=admit.threshold,
             max_updates=admit.max_updates,
@@ -174,6 +182,9 @@ class SessionBlueprint:
             student_seed=admit.student_seed,
             pretrain_steps=admit.pretrain_steps,
             teacher_boundary_noise=admit.teacher_boundary_noise,
+            teacher_arch=admit.teacher_arch,
+            teacher_width=int(admit.teacher_width),
+            teacher_seed=int(admit.teacher_seed),
         )
         return cls(config, (admit.frame_h, admit.frame_w))
 
@@ -184,13 +195,11 @@ def admit_message(config, frame_hw: Tuple[int, int]) -> wire.Admit:
     :meth:`SessionBlueprint.from_admit`.  Only server-relevant fields
     cross: latency/network simulation, message-size accounting and
     forced delays are client-side knobs the replies do not depend on.
+    Since wire v5 the frame carries the full teacher spec
+    (arch/width/seed), so a wire-negotiated session can describe a
+    neural teacher — what lets a whole fleet population, which is
+    always admitted over the wire, share one teacher.
     """
-    if getattr(config, "teacher_arch", "oracle") != "oracle":
-        raise ValueError(
-            f"the ADMIT frame cannot describe a {config.teacher_arch!r} "
-            "teacher (wire v4 carries only the oracle's noise field); "
-            "blueprint non-oracle sessions at server spawn instead"
-        )
     distill = config.distill
     return wire.Admit(
         student_width=config.student_width,
@@ -206,6 +215,9 @@ def admit_message(config, frame_hw: Tuple[int, int]) -> wire.Admit:
         lr=distill.lr,
         reset_optimizer_state=distill.reset_optimizer_state,
         teacher_boundary_noise=config.teacher_boundary_noise,
+        teacher_arch=getattr(config, "teacher_arch", "oracle"),
+        teacher_width=int(getattr(config, "teacher_width", 48)),
+        teacher_seed=int(getattr(config, "teacher_seed", 0)),
     )
 
 
@@ -219,7 +231,11 @@ class AdmissionError(RuntimeError):
     may carry a server-side :attr:`retry_after` hint in wall-clock
     milliseconds (the server converts its internal tick-denominated
     hints at REJECT-encode time using its measured seconds-per-tick) —
-    the attach path's bounded retry loop honours both.
+    the attach path's bounded retry loop honours both.  A fleet shard's
+    ``redirect`` refusal carries the target shard in :attr:`shard`; it
+    is *not* retryable (re-ADMITting the same shard would only be
+    redirected again) — the attach path re-dials the named shard
+    instead.
     """
 
     def __init__(self, reject: wire.Reject, context: str = "admission") -> None:
@@ -228,13 +244,16 @@ class AdmissionError(RuntimeError):
             f", retry after {reject.retry_after} ms"
             if reject.retry_after is not None else ""
         )
+        shard = getattr(reject, "shard", None)
+        target = f" -> shard {shard}" if shard is not None else ""
         super().__init__(
-            f"server refused {context} ({reject.reason}{detail}{after})"
+            f"server refused {context} ({reject.reason}{detail}{after}{target})"
         )
         self.reject = reject
         self.code = reject.code
         self.reason = reject.reason
         self.retry_after = reject.retry_after
+        self.shard = shard
 
     @property
     def retryable(self) -> bool:
@@ -316,6 +335,8 @@ class ServerRuntime:
         overload=None,
         batch: bool = True,
         gather_window_s: float = 0.05,
+        fleet=None,
+        teachers=None,
     ) -> None:
         if not blueprints and not admit:
             raise ValueError(
@@ -341,7 +362,22 @@ class ServerRuntime:
             else None
         )
         #: Shared teacher instances keyed by (arch, width, seed) spec.
+        #: ``teachers`` pre-seeds the cache — a fleet shard injects its
+        #: copy-on-never teachers aliased onto the fleet's read-only
+        #: shm weight segment here, and every admitted session whose
+        #: spec matches serves from the shared arrays.
         self._shared_teachers: Dict[tuple, Any] = {}
+        if teachers:
+            self._shared_teachers.update(teachers)
+        #: Fleet membership (:class:`repro.serving.fleet.FleetMember`)
+        #: or ``None`` for a standalone runtime.  A member consults the
+        #: fleet ledger at ADMIT time: sessions placed here proceed,
+        #: sessions belonging elsewhere draw a typed ``redirect``
+        #: REJECT naming the target shard.
+        self._fleet = fleet
+        #: session id -> placement key, for releasing the ledger claim
+        #: when the session ends.
+        self._fleet_keys: Dict[int, int] = {}
         self.batch = batch
         #: How long a gathered cohort waits for stragglers before it is
         #: served.  A cohort covering every live frame-sending session
@@ -358,6 +394,9 @@ class ServerRuntime:
         #: populations with divergent strides would pay the hold as
         #: pure probe latency.
         self.gather_window_s = gather_window_s
+        #: When the previous cohort flushed (monotonic), for the
+        #: missed-flush rule — see :meth:`_cohort_ripe`.
+        self._last_flush_t: Optional[float] = None
         from repro.serving.batched import BatchedTeacher
 
         self._batched_teacher = BatchedTeacher() if batch else None
@@ -553,7 +592,27 @@ class ServerRuntime:
                 ))
                 self._note_admission("overloaded")
                 return
+        # Fleet placement sits between overload shedding and local
+        # capacity: an overloaded shard refuses before consulting the
+        # ledger (nothing was claimed, nothing to undo), while every
+        # refusal *after* this point must abort the ledger claim so a
+        # failed admission never leaves a phantom load on this shard.
+        fleet_key = None
+        if self._fleet is not None:
+            fleet_key = self._fleet.placement_key(admit)
+            target = self._fleet.place(fleet_key)
+            if target != self._fleet.shard:
+                connection.send_tagged(0, wire.Reject(
+                    0, wire.REJECT_REDIRECT,
+                    f"session belongs on shard {target}",
+                    shard=target,
+                ))
+                self.metrics.counter("fleet.redirects").inc()
+                self._note_admission("redirect")
+                return
         if self._at_capacity():
+            if fleet_key is not None:
+                self._fleet.abort(fleet_key)
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_CAPACITY,
                 f"{len(self._sessions)}/{self.max_sessions} sessions open",
@@ -564,6 +623,8 @@ class ServerRuntime:
         try:
             blueprint = SessionBlueprint.from_admit(admit)
         except (ValueError, wire.WireError) as exc:
+            if fleet_key is not None:
+                self._fleet.abort(fleet_key)
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_MALFORMED, str(exc),
             ))
@@ -571,6 +632,8 @@ class ServerRuntime:
             return
         session_id = self._next_dynamic
         if session_id > wire.MAX_SESSION:
+            if fleet_key is not None:
+                self._fleet.abort(fleet_key)
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_CAPACITY,
                 "u16 session-id space exhausted for this runtime",
@@ -587,10 +650,16 @@ class ServerRuntime:
             # the server other clients depend on — REJECT instead.
             # The burned id is fine: ids are never reused anyway.
             self._sessions.pop(session_id, None)
+            if fleet_key is not None:
+                self._fleet.abort(fleet_key)
             connection.send_tagged(0, wire.Reject(
                 0, wire.REJECT_MALFORMED, str(exc),
             ))
             self._note_admission("malformed")
+            return
+        if fleet_key is not None:
+            self._fleet_keys[session_id] = fleet_key
+            self.metrics.counter("fleet.placed").inc()
 
     def _end_session(self, session_id: int) -> None:
         live = self._sessions.pop(session_id, None)
@@ -598,6 +667,9 @@ class ServerRuntime:
             self.frames_served[session_id] = live.frames_served
             self._ended.add(session_id)
             self._pending_blueprints.discard(session_id)
+        fleet_key = self._fleet_keys.pop(session_id, None)
+        if fleet_key is not None and self._fleet is not None:
+            self._fleet.release(fleet_key)
 
     def _handle(self, connection, session_id: int, msg) -> None:
         if isinstance(msg, wire.Hello):
@@ -683,6 +755,16 @@ class ServerRuntime:
         Sessions that never sent a FRAME (a never-BYE ghost under
         attack, a joiner still pre-training) do not gate ripeness: they
         would hold every honest reply for the full window.
+
+        The end-of-sweep check additionally applies the *missed-flush*
+        rule (``_missed_flush``): a lone key frame whose cohort opened
+        within a grace period of the previous flush just missed its
+        bus — its cohort-mates were released moments ago and are now
+        mid-stride, so holding it a full window cannot buy a batch,
+        only latency.  Serving it immediately also re-merges a
+        population that a premature flush pulled out of phase: the
+        straggler's *next* key frame lands inside its peers' open
+        window instead of perpetually trailing it.
         """
         if (
             len({entry[0] for entry in cohort})
@@ -692,6 +774,21 @@ class ServerRuntime:
         if time.monotonic() >= cohort_deadline:
             return "window"
         return None
+
+    def _missed_flush(self, cohort, cohort_t0) -> bool:
+        """Whether the lone gathered key frame just missed a flush.
+
+        Checked only at the end of a sweep (never mid-sweep), so a
+        synchronised burst that lands just after a flush still gathers
+        into one cohort before the rule is consulted.
+        """
+        return (
+            len(cohort) == 1
+            and cohort_t0 is not None
+            and self._last_flush_t is not None
+            and cohort_t0 - self._last_flush_t
+            <= 0.2 * self.gather_window_s
+        )
 
     def _serve_cohort(self, cohort, closed: set, reason: str = "full",
                       gather_t0: Optional[float] = None) -> None:
@@ -750,6 +847,11 @@ class ServerRuntime:
                 continue
             if ctl is not None:
                 ctl.served()
+        # The scatter is the population's shared unblock point: clients
+        # held here resume their streams together.  Remember when, so a
+        # key frame that *just* missed this flush is recognised as a
+        # straggler rather than held for a fresh window.
+        self._last_flush_t = time.monotonic()
 
     def route_counters(self) -> Dict[str, int]:
         """Cohort statistics merged with the batched teacher's route
@@ -822,7 +924,8 @@ class ServerRuntime:
 
     # ------------------------------------------------------------------
     def _quiesced(self, connections: List[Any], closed: set,
-                  expected: Optional[int]) -> bool:
+                  expected: Optional[int],
+                  draining: Optional[bool] = None) -> bool:
         """The churn-tolerant drain rule (replaces PR 4's "every
         blueprinted session BYEd"): the runtime may exit only once
 
@@ -840,6 +943,19 @@ class ServerRuntime:
         churn gaps of any length are tolerated.  A population that
         never materialises is caught by the idle timeout instead.
         """
+        if draining is not None:
+            # Fleet shard: the listener is drain-capable, so the front
+            # door — not the population count — decides when the run is
+            # over.  Until the drain order arrives the shard must stay
+            # up through any quiet gap (a redirected client that came
+            # and went is not a population); once draining, a shard
+            # with zero connections may exit the moment nothing is
+            # open here.
+            return draining and (
+                not self._pending_blueprints
+                and not self._sessions
+                and len(closed) == len(connections)
+            )
         return (
             not self._pending_blueprints
             and not self._sessions
@@ -849,16 +965,21 @@ class ServerRuntime:
         )
 
     def _doorbell_nap(self, connections, closed, idle_deadline,
-                      next_reap, cohort_deadline) -> bool:
-        """Park the idle sweep on the connections' shm doorbells.
+                      next_reap, cohort_deadline, listener=None) -> bool:
+        """Park the idle sweep on the connections' pollable doorbells.
 
         Every open connection must expose a pollable ``doorbell_fd`` —
-        one socket (or spawn-severed ring) in the mix and this returns
-        False, leaving the blind-nap backoff in charge for everyone.
-        The select wakes the sweep the microsecond any client
-        publishes, instead of after a nap quantum; its timeout is the
-        earliest of the runtime's own clocks, capped by the
-        lost-wakeup safety bound.
+        shm rings ring an eventfd, sockets are their own level-triggered
+        fd — one connection without (a spawn-severed ring) and this
+        returns False, leaving the blind-nap backoff in charge for
+        everyone.  A listener exposing ``doorbell_fds()`` (a listening
+        socket, a fleet control pipe) joins the select so pending
+        *accepts* also wake the park — which is what lets a fleet shard
+        with zero connections sleep instead of spinning on
+        ``poll_accept``.  The select wakes the sweep the microsecond
+        any client publishes, instead of after a nap quantum; its
+        timeout is the earliest of the runtime's own clocks, capped by
+        the lost-wakeup safety bound.
         """
         fds = []
         open_conns = []
@@ -871,7 +992,11 @@ class ServerRuntime:
                 return False
             open_conns.append(connection)
             fds.append(fd)
-        if not fds:
+        listener_fds = []
+        fds_of = getattr(listener, "doorbell_fds", None)
+        if fds_of is not None:
+            listener_fds = [fd for fd in fds_of() if fd is not None]
+        if not fds and not listener_fds:
             return False
         armed = [c for c in open_conns if c.arm_doorbell()]
         try:
@@ -886,7 +1011,7 @@ class ServerRuntime:
                 wake = min(wake, cohort_deadline)
             timeout = max(0.0, min(wake - time.monotonic(),
                                    _DOORBELL_WAIT_MAX_S))
-            _select.select(fds, [], [], timeout)
+            _select.select(fds + listener_fds, [], [], timeout)
         finally:
             for connection in armed:
                 connection.disarm_doorbell()
@@ -943,7 +1068,8 @@ class ServerRuntime:
         #: the full straggler window.  Ids are never reused, so the set
         #: only grows; ripeness intersects it with the live table.
         framers: set = set()
-        while not self._quiesced(connections, closed, expected):
+        while not self._quiesced(connections, closed, expected,
+                                 getattr(listener, "draining", None)):
             sweep_t0 = time.monotonic() if armed else 0.0
             progressed = False
             served_this_sweep = 0
@@ -1052,6 +1178,8 @@ class ServerRuntime:
                 self._cohort_ripe(cohort, cohort_deadline, framers)
                 if cohort else None
             )
+            if ripe is None and cohort and self._missed_flush(cohort, cohort_t0):
+                ripe = "missed-flush"
             if ripe:
                 # Batch + scatter: one stacked teacher inference per
                 # weight-equal group, replies in ascending-session order.
@@ -1096,7 +1224,7 @@ class ServerRuntime:
                     + (f" (listener expects {expected})" if expected else "")
                 )
             if self._doorbell_nap(connections, closed, idle_deadline,
-                                  next_reap, cohort_deadline):
+                                  next_reap, cohort_deadline, listener):
                 continue
             time.sleep(nap)
             nap = min(2 * nap, _NAP_MAX_S)
@@ -1106,7 +1234,8 @@ class ServerRuntime:
 def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
                    max_sessions, admit, overload=None, batch=True,
                    gather_window_s=0.05, report_conn=None,
-                   obs_config=None) -> None:
+                   obs_config=None, fleet=None, teachers=None,
+                   obs_source="server") -> None:
     """Server-process entry point for :func:`start_server`.
 
     ``report_conn`` (a pipe back to the spawning process) receives one
@@ -1123,7 +1252,7 @@ def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
     this process explicitly; ``None`` defers to the inherited
     ``REPRO_OBS`` environment, so one env var arms a whole process tree.
     """
-    obs.arm_from_config(obs_config, source="server")
+    obs.arm_from_config(obs_config, source=obs_source)
     runtime = None
     exit_reason = "quiesced"
     try:
@@ -1131,6 +1260,7 @@ def _runtime_entry(listener, blueprints, share_work, idle_timeout_s,
             blueprints, share_work=share_work, idle_timeout_s=idle_timeout_s,
             max_sessions=max_sessions, admit=admit, overload=overload,
             batch=batch, gather_window_s=gather_window_s,
+            fleet=fleet, teachers=teachers,
         )
         runtime.run(listener)
     except TimeoutError:
@@ -1643,6 +1773,13 @@ def start_server(
 #: Ceiling on any single retry sleep.
 _RETRY_SLEEP_MAX_S = 1.0
 
+#: Ceiling on redirect-follow hops during one attach.  The fleet
+#: ledger's placement is sticky (an affinity key maps to one shard
+#: until its refcount drains), so a healthy fleet resolves in one hop;
+#: the bound exists so a confused or adversarial fleet cannot bounce a
+#: client between shards forever.
+_MAX_REDIRECTS = 4
+
 
 def _admit_with_retry(connection, config, frame_hw, attach):
     """ADMIT with the bounded, seeded retry loop of the attach points.
@@ -1684,6 +1821,13 @@ def attach_session(config, frame_hw, stride_policy):
     blueprint (derived from ``config`` and ``frame_hw``) crosses the
     wire in an ADMIT frame and the server assigns the id — the client
     needs no spawn-time blueprint at all.
+
+    A fleet address (a :class:`SessionAddress` whose ``shards`` tuple
+    is populated) adds the redirect-follow loop: a shard answering the
+    ADMIT with a ``redirect`` REJECT names where the session belongs,
+    and the client re-dials that shard's direct endpoint and re-ADMITs
+    — no fresh negotiation state, the same blueprint crosses again —
+    bounded by :data:`_MAX_REDIRECTS` hops.
     """
     from repro.models.student import StudentNet
     from repro.runtime.client import Client
@@ -1705,9 +1849,29 @@ def attach_session(config, frame_hw, stride_policy):
         )
     try:
         if session is None:
-            session, initial_state = _admit_with_retry(
-                connection, config, frame_hw, attach
-            )
+            redirects = 0
+            while True:
+                try:
+                    session, initial_state = _admit_with_retry(
+                        connection, config, frame_hw, attach
+                    )
+                    break
+                except AdmissionError as exc:
+                    shards = getattr(attach, "shards", ())
+                    if (
+                        exc.code != wire.REJECT_REDIRECT
+                        or exc.shard is None
+                        or not owns
+                        or not shards
+                        or not 0 <= exc.shard < len(shards)
+                        or redirects >= _MAX_REDIRECTS
+                    ):
+                        raise
+                    redirects += 1
+                    connection.close()
+                    connection = MuxConnection(registry.connect(
+                        attach.transport, shards[exc.shard]
+                    ))
         else:
             initial_state = connection.open_session(session)
         remote = MuxRemoteServer(

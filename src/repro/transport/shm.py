@@ -203,7 +203,7 @@ class ShmRing:
         )
 
     @classmethod
-    def attach(cls, desc: tuple) -> "ShmRing":
+    def attach(cls, desc: tuple, cursors: Tuple[int, int] = (0, 0)) -> "ShmRing":
         name, slots, slot_nbytes, pub_fd, rel_fd, cookie = desc
         ring = cls(slots=slots, slot_nbytes=slot_nbytes, name=name)
         # Adopt the doorbells only when the fd numbers are known to
@@ -214,7 +214,19 @@ class ShmRing:
         if cookie == _LINEAGE:
             ring._pub_fd = pub_fd
             ring._rel_fd = rel_fd
+        # Cursor handoff: the fleet's shm director consumes a ring's
+        # first message (the ADMIT it places) and then hands the ring
+        # to a shard — which must resume at the director's cursors, not
+        # at zero, or it would re-await sequence numbers already
+        # consumed.  The shared sequence table carries the truth; the
+        # cursors are the attaching side's position in it.
+        ring._head, ring._tail = cursors
         return ring
+
+    def cursors(self) -> Tuple[int, int]:
+        """(head, tail) — this side's position in the ring, for
+        :meth:`attach`-time restoration after a connection handoff."""
+        return self._head, self._tail
 
     # ------------------------------------------------------------------
     def _await_seq(self, index: int, want: int, deadline: float) -> None:

@@ -141,6 +141,27 @@ class SocketTransport(Endpoint):
         readable, _, _ = select.select([self._sock], [], [], 0)
         return bool(readable)
 
+    # -- doorbell surface (the runtime's idle-sweep park) --------------
+    def doorbell_fd(self) -> Optional[int]:
+        """The socket itself: readability is the doorbell.
+
+        Sockets are level-triggered in ``select`` — pending bytes keep
+        the fd readable — so unlike the shm ring there is nothing to
+        arm and no lost-wakeup window; the runtime's arm-then-recheck
+        dance degenerates to a plain select on the fd.
+        """
+        try:
+            fd = self._sock.fileno()
+        except OSError:
+            return None
+        return fd if fd >= 0 else None
+
+    def arm_doorbell(self) -> bool:
+        return False  # nothing to disarm: the fd is always level-triggered
+
+    def disarm_doorbell(self) -> None:
+        pass
+
     def send_tagged(self, session: int, obj: Any) -> None:
         self._sock.settimeout(self.timeout_s)
         self._sock.sendall(wire.encode(obj, session=session))
@@ -238,10 +259,80 @@ class SocketListener:
             sock.close()
         return SocketTransport(conn, self._timeout_s)
 
+    def doorbell_fds(self):
+        """Pollable accept fd(s) while the listener still expects
+        connections — a parked idle sweep must wake for a late dialler,
+        not discover it a select-timeout later."""
+        return [] if self._sock is None else [self._sock.fileno()]
+
     def close(self) -> None:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+
+
+class FleetSocketListener:
+    """One shard's accept surface: the shared front door plus its own
+    direct port.
+
+    Every shard of a fleet holds a listening socket bound to the *same*
+    advertised (host, port) with ``SO_REUSEPORT`` — the kernel load-
+    balances incoming connections across the shard processes — plus a
+    per-shard *direct* listener that redirected clients re-dial (the
+    target of a ``REJECT(redirect, shard=k)``).  The fleet has no
+    provisioned population (``expected`` is None): shards accept until
+    the owner signals drain (:attr:`draining`, set by the fleet's
+    control pipe), which is the quiesce contract a fleet runtime uses
+    in place of the come-and-gone population rule.
+    """
+
+    expected = None
+
+    def __init__(self, front_sock: _socket.socket,
+                 direct_sock: _socket.socket, timeout_s: float,
+                 control_conn=None) -> None:
+        for sock in (front_sock, direct_sock):
+            sock.settimeout(0)
+        self._socks = [front_sock, direct_sock]
+        self._timeout_s = timeout_s
+        self._control = control_conn
+        self.draining = False
+
+    def _poll_control(self) -> None:
+        if self._control is None or self.draining:
+            return
+        try:
+            if self._control.poll(0):
+                self._control.recv()  # the only message is "drain"
+                self.draining = True
+        except (EOFError, OSError):
+            # A dead owner is a drain order too: serve out what's open
+            # and exit instead of idling into the timeout.
+            self.draining = True
+
+    def poll_accept(self) -> Optional[SocketTransport]:
+        self._poll_control()
+        for sock in self._socks:
+            if sock is None:
+                continue
+            try:
+                conn, _ = sock.accept()
+            except (BlockingIOError, InterruptedError):
+                continue
+            return SocketTransport(conn, self._timeout_s)
+        return None
+
+    def doorbell_fds(self):
+        fds = [sock.fileno() for sock in self._socks if sock is not None]
+        if self._control is not None and not self.draining:
+            fds.append(self._control.fileno())
+        return fds
+
+    def close(self) -> None:
+        for sock in self._socks:
+            if sock is not None:
+                sock.close()
+        self._socks = [None, None]
 
 
 def _serve_many_entry(target, sock, expected: int, timeout_s: float) -> None:
@@ -285,6 +376,29 @@ def connect_address(info) -> SocketTransport:
     """Dial the address a :class:`SocketManyLink` produced."""
     host, port, timeout_s = info
     return SocketTransport(_dial(host, port, timeout_s), timeout_s)
+
+
+def bind_reuseport(host: str = "127.0.0.1", port: int = 0,
+                   backlog: int = 64) -> _socket.socket:
+    """A listening socket with ``SO_REUSEPORT`` set.
+
+    The fleet's front door: every shard binds the same (host, port)
+    this way and the kernel balances incoming connections across the
+    bound sockets.  Binding port 0 first (the fleet owner's *probe*)
+    reserves a free port that the shards then bind by number; the
+    probe socket must be closed once every shard is up — a socket
+    in the reuseport group that nobody accepts on would eat its share
+    of the incoming connections.
+    """
+    sock = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
 
 
 def serve_many(

@@ -59,6 +59,17 @@ frames still decode (a v3 ``REJECT`` body simply has no hint), and
 v4-only syntax — the hint field — never appears in frames claiming an
 older version.
 
+Version 5 is the fleet extension: an ``ADMIT`` blueprint now names its
+*teacher* (architecture code, width, seed) so a negotiated session can
+run against a neural teacher — the fleet shares one read-only copy of
+those weights across shard processes via a shm segment — and ``REJECT``
+grows a typed ``redirect`` reason plus an optional ``shard`` field: a
+shard that is not the placement target of an ADMIT answers
+``REJECT(redirect, shard=k)`` and the client re-dials shard ``k``
+directly, without a fresh negotiation round.  v2–v4 frames still
+decode (older REJECT bodies carry no shard; older ADMIT blueprints
+default to the shared oracle teacher).
+
 The normative byte-level spec lives in ``docs/PROTOCOL.md``;
 ``tests/test_protocol_doc.py`` asserts this module and that document
 agree on every constant.
@@ -84,7 +95,7 @@ from repro.nn.serialize import array_wire_nbytes, read_array, write_array
 from repro.runtime.server import ServerReply
 
 MAGIC = b"ST"
-VERSION = 4
+VERSION = 5
 
 KIND_SHUTDOWN = 0
 KIND_STATE = 1
@@ -111,6 +122,7 @@ REJECT_CAPACITY = 3          #: admission refused: server at max_sessions
 REJECT_MALFORMED = 4         #: ADMIT blueprint failed validation
 REJECT_DISABLED = 5          #: server runs with dynamic admission off
 REJECT_OVERLOADED = 6        #: admission refused: token bucket empty (v4)
+REJECT_REDIRECT = 7          #: admit elsewhere: body names the target shard (v5)
 
 REJECT_REASONS = {
     REJECT_UNKNOWN_SESSION: "unknown-session",
@@ -119,6 +131,7 @@ REJECT_REASONS = {
     REJECT_MALFORMED: "malformed-blueprint",
     REJECT_DISABLED: "admission-disabled",
     REJECT_OVERLOADED: "overloaded",
+    REJECT_REDIRECT: "redirect",
 }
 
 # magic, version, kind, session, total_len
@@ -131,9 +144,13 @@ MAX_SESSION = 0xFFFF
 _REPLY_HEAD = struct.Struct("<ddI")  # metric, initial_metric, steps
 _COUNT = struct.Struct("<I")
 _NAME_LEN = struct.Struct("<H")
-#: v4 REJECT body head: code, detail byte length, has_retry_after,
-#: retry_after (ticks; 0 and ignored when the flag byte is 0).
-_REJECT_HEAD = struct.Struct("<HHBQ")
+#: v5 REJECT body head: code, detail byte length, has_retry_after,
+#: retry_after, has_shard, shard (each value 0 and ignored when its
+#: flag byte is 0).
+_REJECT_HEAD = struct.Struct("<HHBQBH")
+#: The v4 REJECT body head (no shard field) — kept so v4 frames from
+#: older peers still decode.
+_REJECT_HEAD_V4 = struct.Struct("<HHBQ")
 #: The v3 REJECT body head (code, detail byte length) — kept so v3
 #: frames from older peers still decode.
 _REJECT_HEAD_V3 = struct.Struct("<HH")
@@ -192,12 +209,20 @@ class Admit:
     lr: float
     reset_optimizer_state: bool
     teacher_boundary_noise: float = 0.0
+    teacher_arch: str = "oracle"       #: "oracle" | "neural" (v5)
+    teacher_width: int = 48            #: neural teacher width (v5)
+    teacher_seed: int = 0              #: neural teacher init seed (v5)
 
     _FLOAT_FIELDS = ("student_width", "threshold", "lr",
                      "teacher_boundary_noise")
     _INT_FIELDS = ("student_seed", "pretrain_steps", "frame_h", "frame_w",
-                   "max_updates", "min_stride", "max_stride")
+                   "max_updates", "min_stride", "max_stride",
+                   "teacher_width", "teacher_seed")
     _MODES = ("partial", "full")
+    _TEACHER_ARCHS = ("oracle", "neural")
+    #: The v5 additions, absent as a block from v3/v4 blueprints (which
+    #: decode with the defaults above — the shared oracle teacher).
+    _TEACHER_FIELDS = ("teacher_arch", "teacher_width", "teacher_seed")
 
     def to_state(self) -> "OrderedDict[str, np.ndarray]":
         """Blueprint as named 0-d arrays — the exact STATE body framing,
@@ -209,16 +234,26 @@ class Admit:
             state[name] = np.int64(getattr(self, name))
         state["mode"] = np.uint8(self._MODES.index(self.mode))
         state["reset_optimizer_state"] = np.uint8(self.reset_optimizer_state)
+        state["teacher_arch"] = np.uint8(
+            self._TEACHER_ARCHS.index(self.teacher_arch)
+        )
         return state
 
     @classmethod
     def from_state(cls, state: Dict[str, np.ndarray]) -> "Admit":
         """Inverse of :meth:`to_state`; raises :class:`WireError` on a
-        malformed blueprint (missing/unknown fields, bad mode code)."""
-        expected = set(cls._FLOAT_FIELDS) | set(cls._INT_FIELDS) | {
-            "mode", "reset_optimizer_state",
-        }
+        malformed blueprint (missing/unknown fields, bad mode or
+        teacher-arch code).  A blueprint missing *all three* teacher
+        fields is a v3/v4 one and decodes with the default teacher; a
+        blueprint with only some of them is malformed."""
         got = set(state)
+        expected = set(cls._FLOAT_FIELDS) | set(cls._INT_FIELDS) | {
+            "mode", "reset_optimizer_state", "teacher_arch",
+        }
+        teacher_fields = set(cls._TEACHER_FIELDS)
+        legacy = not (got & teacher_fields)
+        if legacy:
+            expected -= teacher_fields
         if got != expected:
             missing = sorted(expected - got)
             unknown = sorted(got - expected)
@@ -235,10 +270,20 @@ class Admit:
         for name in cls._FLOAT_FIELDS:
             kwargs[name] = float(np.asarray(state[name]).reshape(()))
         for name in cls._INT_FIELDS:
+            if legacy and name in teacher_fields:
+                continue
             kwargs[name] = int(np.asarray(state[name]).reshape(()))
         kwargs["reset_optimizer_state"] = bool(
             int(np.asarray(state["reset_optimizer_state"]).reshape(()))
         )
+        if not legacy:
+            arch_code = int(np.asarray(state["teacher_arch"]).reshape(()))
+            if not 0 <= arch_code < len(cls._TEACHER_ARCHS):
+                raise WireError(
+                    f"malformed ADMIT blueprint: unknown teacher-arch "
+                    f"code {arch_code}"
+                )
+            kwargs["teacher_arch"] = cls._TEACHER_ARCHS[arch_code]
         return cls(**kwargs)
 
 
@@ -257,12 +302,19 @@ class Reject:
     succeeding — the overload layer stamps it on ``capacity`` and
     ``overloaded`` refusals.  ``None`` means the server offered no
     hint; frames from v3 peers always decode with ``None``.
+
+    ``shard`` (version 5) is the placement target of a ``redirect``
+    refusal: the fleet shard that answered is not where this session
+    belongs, and the client SHOULD re-send the same ADMIT to shard
+    ``shard`` directly.  ``None`` on every other reason code; frames
+    from v3/v4 peers always decode with ``None``.
     """
 
     session: int
     code: int
     detail: str = ""
     retry_after: Optional[int] = None
+    shard: Optional[int] = None
 
     @property
     def reason(self) -> str:
@@ -428,10 +480,17 @@ def encode_into(obj: Message, buf: memoryview, session: int = 0) -> int:
             raise WireError(
                 f"REJECT retry_after {retry_after} does not fit the u64 field"
             )
+        shard = obj.shard
+        if shard is not None and not 0 <= shard <= 0xFFFF:
+            raise WireError(
+                f"REJECT shard {shard} does not fit the u16 field"
+            )
         _REJECT_HEAD.pack_into(
             buf, offset, obj.code, len(detail),
             0 if retry_after is None else 1,
             0 if retry_after is None else retry_after,
+            0 if shard is None else 1,
+            0 if shard is None else shard,
         )
         offset += _REJECT_HEAD.size
         buf[offset : offset + len(detail)] = detail
@@ -457,7 +516,7 @@ def peek_header(buf: memoryview) -> Tuple[int, int, int]:
     magic, version, kind, session, total = _HEADER.unpack_from(buf, 0)
     if magic != MAGIC:
         raise WireError(f"bad magic {magic!r}")
-    if version not in (2, 3, VERSION):
+    if version not in (2, 3, 4, VERSION):
         raise WireError(f"unsupported wire version {version}")
     if kind not in _KINDS:
         raise WireError(f"unknown message kind {kind}")
@@ -500,20 +559,28 @@ def decode_tagged(buf: Union[bytes, bytearray, memoryview]) -> Tuple[int, Messag
         state, _ = _read_state(buf, offset)
         return session, Admit.from_state(state)
     if kind == KIND_REJECT:
-        # The REJECT body grew the retry_after hint in v4; frames from
-        # v3 peers carry the shorter historical layout.
-        if buf[2] >= 4:
-            code, detail_len, has_retry, retry_raw = _REJECT_HEAD.unpack_from(
+        # The REJECT body grew the retry_after hint in v4 and the
+        # shard field in v5; frames from older peers carry the shorter
+        # historical layouts.
+        shard = None
+        if buf[2] >= 5:
+            (code, detail_len, has_retry, retry_raw,
+             has_shard, shard_raw) = _REJECT_HEAD.unpack_from(buf, offset)
+            offset += _REJECT_HEAD.size
+            retry_after = int(retry_raw) if has_retry else None
+            shard = int(shard_raw) if has_shard else None
+        elif buf[2] == 4:
+            code, detail_len, has_retry, retry_raw = _REJECT_HEAD_V4.unpack_from(
                 buf, offset
             )
-            offset += _REJECT_HEAD.size
+            offset += _REJECT_HEAD_V4.size
             retry_after = int(retry_raw) if has_retry else None
         else:
             code, detail_len = _REJECT_HEAD_V3.unpack_from(buf, offset)
             offset += _REJECT_HEAD_V3.size
             retry_after = None
         detail = bytes(buf[offset : offset + detail_len]).decode()
-        return session, Reject(session, int(code), detail, retry_after)
+        return session, Reject(session, int(code), detail, retry_after, shard)
     if kind == KIND_STATE:
         state, _ = _read_state(buf, offset)
         return session, state

@@ -193,21 +193,51 @@ class TestDocExamplesAreHonest:
         assert as_admit[wire.HEADER_NBYTES:] == as_state[wire.HEADER_NBYTES:]
 
     def test_reject_body_layout(self):
-        # v4 body head: u16 code | u16 detail_len | u8 flag | u64 hint.
-        head = struct.Struct("<HHBQ")
+        # v5 body head: u16 code | u16 detail_len | u8 flag | u64 hint
+        #             | u8 shard flag | u16 shard.
+        head = struct.Struct("<HHBQBH")
         reject = wire.Reject(5, wire.REJECT_OVERLOADED, "dry", retry_after=17)
         body = wire.encode(reject)[wire.HEADER_NBYTES:]
-        code, detail_len, has_retry, retry_after = head.unpack_from(body, 0)
+        (code, detail_len, has_retry, retry_after,
+         has_shard, shard) = head.unpack_from(body, 0)
         assert code == wire.REJECT_OVERLOADED
         assert (has_retry, retry_after) == (1, 17)
+        assert (has_shard, shard) == (0, 0)
         assert body[head.size : head.size + detail_len].decode() == "dry"
         # Without a hint the flag and field MUST both encode as zero.
         bare = wire.encode(wire.Reject(5, wire.REJECT_CAPACITY, "full"))
         body = bare[wire.HEADER_NBYTES:]
-        code, detail_len, has_retry, retry_after = head.unpack_from(body, 0)
+        (code, detail_len, has_retry, retry_after,
+         has_shard, shard) = head.unpack_from(body, 0)
         assert code == wire.REJECT_CAPACITY
         assert (has_retry, retry_after) == (0, 0)
+        assert (has_shard, shard) == (0, 0)
         assert body[head.size : head.size + detail_len].decode() == "full"
+        # §4.6/§5.1: a redirect MUST carry has_shard = 1 + the target.
+        routed = wire.encode(wire.Reject(0, wire.REJECT_REDIRECT,
+                                         "belongs on shard 3", shard=3))
+        body = routed[wire.HEADER_NBYTES:]
+        (code, detail_len, has_retry, retry_after,
+         has_shard, shard) = head.unpack_from(body, 0)
+        assert code == wire.REJECT_REDIRECT
+        assert (has_shard, shard) == (1, 3)
+
+    def test_v4_reject_still_decodes_without_a_shard(self):
+        """§7: a v4 REJECT body (no shard tail) decodes with
+        ``shard`` None — the historical layout stays live."""
+        detail = "dry".encode()
+        body = wire._REJECT_HEAD_V4.pack(
+            wire.REJECT_OVERLOADED, len(detail), 1, 17
+        )
+        total = wire.HEADER_NBYTES + len(body) + len(detail)
+        buf = bytearray(total)
+        wire._HEADER.pack_into(buf, 0, wire.MAGIC, 4, wire.KIND_REJECT,
+                               9, total)
+        buf[wire.HEADER_NBYTES:] = body + detail
+        session, out = wire.decode_tagged(buf)
+        assert session == 9
+        assert out == wire.Reject(9, wire.REJECT_OVERLOADED, "dry", 17, None)
+        assert out.shard is None
 
     def test_retryable_codes_are_exactly_3_and_6(self):
         """§4.6: capacity and overloaded are the retryable refusals."""

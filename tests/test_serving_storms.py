@@ -27,15 +27,19 @@ def _shm_segments():
     return {p for p in shm_dir.iterdir() if p.name.startswith("psm_")}
 
 
+@pytest.mark.parametrize("transport", ["shm", "socket"])
 @pytest.mark.parametrize("name", STORM_NAMES)
-def test_storm_never_wedges_server(name):
+def test_storm_never_wedges_server(name, transport):
     before = _shm_segments()
     plan = storm_plan(name, seed=0, frames=2)
     # Metrics armed in the server process (ISSUE 8): the storm must
     # still resolve identically, and its report must carry the
-    # admission/overload accounting.
+    # admission/overload accounting.  Both wire transports face the
+    # same storms — the receive budget tears down a half-header staller
+    # whether it wedged a ring slot or a TCP stream (ISSUE 10).
     report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0,
-                       obs_config=obs.ObsConfig(metrics=True))
+                       obs_config=obs.ObsConfig(metrics=True),
+                       transport=transport)
     assert report.name == name and report.control
     # No wedge: the server drained the storm and exited cleanly, and
     # every honest job resolved one way or the other.
@@ -64,11 +68,13 @@ def test_storm_never_wedges_server(name):
         assert not leaked, f"leaked shm segments: {leaked}"
 
 
-def test_slow_loris_honest_traffic_completes():
+@pytest.mark.parametrize("transport", ["shm", "socket"])
+def test_slow_loris_honest_traffic_completes(transport):
     """The loris stallers and the never-BYE ghost must not cost any
     honest client its session: budget teardown, not queue starvation."""
     plan = storm_plan("slow-loris", seed=0, frames=2)
-    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0)
+    report = run_storm(plan, loris_hold_s=10.0, job_timeout_s=120.0,
+                       transport=transport)
     assert not report.wedged
     assert report.ok == len(plan.jobs)
     assert report.rejected == 0

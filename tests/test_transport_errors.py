@@ -369,6 +369,76 @@ class TestClientDeath:
             assert not leaked, f"leaked shm segments: {leaked}"
 
 
+class TestShardDeath:
+    """ISSUE 10 satellite: SIGKILL one shard of a fleet; the surviving
+    shards keep serving their sessions, new admissions for surviving
+    tenants still land, and the fleet's shared segments (including the
+    digest-checked shared-teacher weights the dead shard had mapped)
+    all unlink at close."""
+
+    def test_sigkill_one_shard_survivors_keep_serving(self):
+        import pathlib
+
+        from repro.runtime.session import SessionConfig, build_session
+        from repro.serving.fleet import start_fleet
+        from repro.serving.runtime import REPORT_LOST
+        from repro.video.dataset import CATEGORY_BY_KEY, make_category_video
+
+        def _make_video():
+            video = make_category_video(
+                CATEGORY_BY_KEY["fixed-people"], height=32, width=48
+            )
+            video.reset()
+            return video
+
+        def shm_segments():
+            shm_dir = pathlib.Path("/dev/shm")
+            if not shm_dir.is_dir():
+                return None
+            return {p for p in shm_dir.iterdir() if p.name.startswith("psm_")}
+
+        config = SessionConfig(
+            student_width=0.25, pretrain_steps=5, teacher_arch="neural",
+            teacher_width=8, teacher_seed=0,
+        )
+        before = shm_segments()
+        handle = start_fleet(2, transport="socket", idle_timeout_s=60,
+                             shared_teacher=(8, 0))
+        try:
+            # The first tenant lands on shard 0 (least-loaded, lowest
+            # index) — deterministically on the shard that survives.
+            occupant = build_session(
+                dataclasses.replace(config, attach=handle.admit_address(0)),
+                (32, 48),
+            )
+            handle.processes[1].kill()  # SIGKILL: no goodbye
+            handle.processes[1].join(timeout=30)
+
+            # The survivor keeps serving the open session...
+            stats = occupant.run(_make_video().frames(6), label="occupant")
+            assert stats.num_frames == 6
+            # ...and still admits new sessions of the surviving tenant
+            # (the dead shard's reuseport socket died with it, so the
+            # front door routes every dial to the survivor).
+            joiner = build_session(
+                dataclasses.replace(config, attach=handle.admit_address(0)),
+                (32, 48),
+            )
+            joiner_stats = joiner.run(_make_video().frames(4), label="joiner")
+            assert joiner_stats.num_frames == 4
+            joiner.server.close()
+            occupant.server.close()
+        finally:
+            handle.close()
+        reasons = handle.fleet_report["exit_reasons"]
+        assert reasons[0] == "quiesced"
+        assert reasons[1] == REPORT_LOST
+        assert handle.fleet_report["frames_served"][0] > 0
+        if before is not None:
+            leaked = shm_segments() - before
+            assert not leaked, f"leaked shm segments: {leaked}"
+
+
 class TestShmTimeouts:
     def test_recv_timeout_names_the_stuck_slot(self):
         a, b = spawn_shm_pair(slots=2, slot_nbytes=4096, timeout_s=0.1)
